@@ -1,0 +1,143 @@
+"""Ext-D — DBM / federation kernel micro-benchmarks.
+
+The zone kernel dominates solver runtime (the repro band notes "weak DBM
+libs" as the main Python risk), so its primitives are benchmarked
+directly: closure, intersection, up/down, subtraction, inclusion, and the
+Predt operator they compose into.
+"""
+
+import random
+
+import pytest
+
+from repro.dbm import DBM, Federation, le
+from repro.game.predt import predt
+
+
+def random_zone(rng, dim=5, constraints=6):
+    zone = DBM.universal(dim)
+    for _ in range(constraints):
+        i = rng.randrange(dim)
+        j = rng.randrange(dim)
+        if i == j:
+            continue
+        value = rng.randint(-6, 14)
+        strict = rng.random() < 0.5
+        zone = zone.tighten(i, j, (value << 1) | (0 if strict else 1))
+        if zone.is_empty():
+            return random_zone(rng, dim, constraints)
+    return zone
+
+
+@pytest.fixture(scope="module")
+def zone_pool():
+    rng = random.Random(2008)
+    return [random_zone(rng) for _ in range(64)]
+
+
+@pytest.fixture(scope="module")
+def federation_pool(zone_pool):
+    rng = random.Random(443)
+    feds = []
+    for _ in range(16):
+        zones = rng.sample(zone_pool, 3)
+        feds.append(Federation(5, zones))
+    return feds
+
+
+def test_bench_from_constraints(benchmark):
+    constraints = [(1, 0, le(9)), (0, 1, le(-2)), (2, 1, le(4)), (3, 0, le(20))]
+    result = benchmark(DBM.from_constraints, 5, constraints)
+    assert not result.is_empty()
+
+
+def test_bench_intersection(benchmark, zone_pool):
+    def run():
+        acc = 0
+        for a, b in zip(zone_pool, zone_pool[1:]):
+            if not a.intersect(b).is_empty():
+                acc += 1
+        return acc
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_up_down(benchmark, zone_pool):
+    def run():
+        for z in zone_pool:
+            z.up()
+            z.down()
+
+    benchmark(run)
+
+
+def test_bench_reset(benchmark, zone_pool):
+    def run():
+        for z in zone_pool:
+            z.reset([1, 2])
+
+    benchmark(run)
+
+
+def test_bench_inclusion(benchmark, zone_pool):
+    def run():
+        hits = 0
+        for a in zone_pool[:16]:
+            for b in zone_pool[:16]:
+                if a.includes(b):
+                    hits += 1
+        return hits
+
+    assert benchmark(run) >= 16  # reflexive hits at least
+
+
+def test_bench_subtraction(benchmark, zone_pool):
+    from repro.dbm import subtract_zone
+
+    def run():
+        pieces = 0
+        for a, b in zip(zone_pool[:24], zone_pool[1:25]):
+            pieces += len(subtract_zone(a, b))
+        return pieces
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_federation_subtract(benchmark, federation_pool):
+    def run():
+        total = 0
+        for f1, f2 in zip(federation_pool, federation_pool[1:]):
+            total += len(f1.subtract(f2))
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_federation_includes(benchmark, federation_pool):
+    def run():
+        hits = 0
+        for f1 in federation_pool[:8]:
+            for f2 in federation_pool[:8]:
+                if f1.includes(f2):
+                    hits += 1
+        return hits
+
+    assert benchmark(run) >= 8
+
+
+def test_bench_predt(benchmark, federation_pool):
+    def run():
+        total = 0
+        for goal, bad in zip(federation_pool[:8], federation_pool[1:9]):
+            total += len(predt(goal, bad))
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_sample(benchmark, zone_pool):
+    def run():
+        for z in zone_pool:
+            z.sample()
+
+    benchmark(run)

@@ -1,0 +1,179 @@
+"""Ext-A — fault-detection capability of strategy-based tests.
+
+The paper's future-work item 3 asks how effective winning-strategy tests
+are at detecting faults.  This benchmark builds a pool of Smart Light
+mutants, runs the ``control: A<> IUT.Bright`` strategy test against each
+under several output policies, and reports the detection (kill) rate.
+
+The qualitative expectations asserted:
+
+* every *on-purpose-path* tioco violation is detected under some policy;
+* no conforming implementation (including refinements) is ever flagged —
+  test soundness in aggregate;
+* off-path faults may survive (that is the price of *targeted* testing).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import pytest
+
+from repro.game import Strategy, solve_reachability_game
+from repro.models.smartlight import smartlight_network, smartlight_plant
+from repro.semantics.system import System
+from repro.tctl import parse_query
+from repro.testing import (
+    EagerPolicy,
+    LazyPolicy,
+    QuiescentPolicy,
+    RandomPolicy,
+    SimulatedImplementation,
+    execute_test,
+)
+from repro.testing.mutants import (
+    Mutant,
+    drop_edge,
+    retarget_edge,
+    shift_guard_constant,
+    swap_output_channel,
+    widen_invariant,
+)
+from repro.testing.trace import FAIL, PASS
+
+
+def mutant_pool() -> List[Mutant]:
+    plant = smartlight_plant
+
+    return [
+        Mutant(
+            "wrong-output-L1",
+            swap_output_channel(plant(), "bright", automaton="IUT",
+                                source="L1", sync="dim!"),
+            "L1 answers bright! instead of dim!",
+            expected_caught=True,
+        ),
+        Mutant(
+            "wrong-output-L6",
+            swap_output_channel(plant(), "dim", automaton="IUT",
+                                source="L6", sync="bright!"),
+            "L6 answers dim! instead of bright!",
+            expected_caught=True,
+        ),
+        Mutant(
+            "late-L6",
+            widen_invariant(plant(), "IUT", "L6", +2),
+            "L6 may answer 2 time units late",
+            expected_caught=True,
+        ),
+        Mutant(
+            "missing-bright-L6",
+            drop_edge(plant(), automaton="IUT", source="L6", sync="bright!"),
+            "L6 never answers",
+            expected_caught=True,
+        ),
+        Mutant(
+            "late-L2",
+            widen_invariant(plant(), "IUT", "L2", +2),
+            "L2 may answer late (off the strategy's path)",
+            expected_caught=False,
+        ),
+        Mutant(
+            "early-L1",
+            widen_invariant(plant(), "IUT", "L1", -1),
+            "L1 answers faster: a tioco refinement, conforming",
+            expected_caught=False,
+        ),
+        Mutant(
+            "idle-threshold-off-by-one",
+            shift_guard_constant(plant(), -1, automaton="IUT",
+                                 source="Off", target="L5"),
+            "reactivation threshold off by one (boundary-only fault)",
+            expected_caught=False,
+        ),
+        Mutant(
+            "retarget-bright-to-off",
+            retarget_edge(plant(), "Off", automaton="IUT", source="L6",
+                          sync="bright!"),
+            "bright! emitted but light actually turns off (post-goal)",
+            expected_caught=False,
+        ),
+    ]
+
+
+POLICIES = [
+    ("eager", EagerPolicy),
+    ("lazy", LazyPolicy),
+    ("quiescent", QuiescentPolicy),
+    ("random0", lambda: RandomPolicy(0)),
+    ("random1", lambda: RandomPolicy(1)),
+]
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    system = System(smartlight_network())
+    result = solve_reachability_game(
+        system, parse_query("control: A<> IUT.Bright"), on_the_fly=False
+    )
+    return Strategy(result)
+
+
+@pytest.fixture(scope="module")
+def spec_plant():
+    return System(smartlight_plant())
+
+
+def kill_rate(strategy, spec_plant, mutants) -> dict:
+    outcomes = {}
+    for mutant in mutants:
+        caught = False
+        for _, policy_factory in POLICIES:
+            imp = SimulatedImplementation(System(mutant.network), policy_factory())
+            run = execute_test(strategy, spec_plant, imp)
+            if run.verdict == FAIL:
+                caught = True
+                break
+        outcomes[mutant.name] = caught
+    return outcomes
+
+
+def test_mutation_detection_report(strategy, spec_plant):
+    mutants = mutant_pool()
+    outcomes = kill_rate(strategy, spec_plant, mutants)
+    for mutant in mutants:
+        caught = outcomes[mutant.name]
+        if mutant.expected_caught is True:
+            assert caught, f"{mutant.name} should be caught ({mutant.description})"
+        if mutant.expected_caught is False:
+            assert not caught, (
+                f"{mutant.name} unexpectedly caught — either the mutant is"
+                f" on-path after all or the executor produced a false alarm"
+            )
+    killed = sum(outcomes.values())
+    print(f"\nmutation score: {killed}/{len(mutants)} "
+          f"({100.0 * killed / len(mutants):.0f}% of pool, "
+          f"100% of on-path faults)")
+
+
+def test_mutation_detection_speed(benchmark, strategy, spec_plant):
+    """Time the full pool × policies sweep (the Ext-A experiment)."""
+    mutants = mutant_pool()
+    outcomes = benchmark.pedantic(
+        kill_rate, args=(strategy, spec_plant, mutants), rounds=1, iterations=1
+    )
+    assert sum(outcomes.values()) >= 4
+
+
+@pytest.mark.parametrize("policy_name,policy_factory", POLICIES)
+def test_single_execution_speed(benchmark, strategy, spec_plant,
+                                policy_name, policy_factory):
+    """Latency of one conforming test execution (Algorithm 3.1)."""
+
+    def run():
+        imp = SimulatedImplementation(
+            System(smartlight_plant()), policy_factory()
+        )
+        return execute_test(strategy, spec_plant, imp)
+
+    run_result = benchmark(run)
+    assert run_result.verdict == PASS

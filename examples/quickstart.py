@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Quickstart: model a tiny uncontrollable system, synthesize a winning
+strategy, and use it as a test case.
+
+The system is a coffee machine with timing uncertainty: after a coin it
+brews for 2-4 seconds and then — its own choice — dispenses coffee or
+tea.  Pressing ``strong`` during brewing forces coffee.  The test purpose
+is "the tester can always force a coffee".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NetworkBuilder,
+    Strategy,
+    System,
+    execute_test,
+    parse_query,
+    solve_reachability_game,
+)
+from repro.testing import LazyPolicy, RandomPolicy, SimulatedImplementation
+
+
+def build_machine():
+    """The plant TIOGA: uncontrollable outputs with timing uncertainty."""
+    net = NetworkBuilder("coffee")
+    net.clock("x")
+    net.input_channel("coin", "strong")  # tester moves (controllable)
+    net.output_channel("coffee", "tea")  # machine moves (uncontrollable)
+
+    m = net.automaton("M")
+    m.location("idle", initial=True)
+    m.location("brew", invariant="x <= 4")
+    m.location("forced", invariant="x <= 4")
+    m.location("cup")
+
+    m.edge("idle", "brew", sync="coin?", assign="x := 0")
+    # While brewing, the machine may dispense either drink after 2s...
+    m.edge("brew", "cup", guard="x >= 2", sync="coffee!")
+    m.edge("brew", "cup", guard="x >= 2", sync="tea!")
+    # ...unless the tester presses `strong` early enough.
+    m.edge("brew", "forced", guard="x <= 1", sync="strong?")
+    m.edge("forced", "cup", guard="x >= 2", sync="coffee!")
+    # Input-enabledness: extra presses are ignored.
+    m.edge("idle", "idle", sync="strong?")
+    m.edge("forced", "forced", sync="strong?")
+    m.edge("brew", "brew", sync="coin?")
+    m.edge("forced", "forced", sync="coin?")
+    m.edge("cup", "cup", sync="coin?")
+    m.edge("cup", "cup", sync="strong?")
+    return net.build()
+
+
+def build_arena():
+    """Machine composed with a user model (the tester's constraints)."""
+    net = NetworkBuilder("coffee-arena")
+    net.clock("x", "z")
+    net.input_channel("coin", "strong")
+    net.output_channel("coffee", "tea")
+
+    m = net.automaton("M")
+    m.location("idle", initial=True)
+    m.location("brew", invariant="x <= 4")
+    m.location("forced", invariant="x <= 4")
+    m.location("cup")
+    m.edge("idle", "brew", sync="coin?", assign="x := 0")
+    m.edge("brew", "cup", guard="x >= 2", sync="coffee!")
+    m.edge("brew", "cup", guard="x >= 2", sync="tea!")
+    m.edge("brew", "forced", guard="x <= 1", sync="strong?")
+    m.edge("forced", "cup", guard="x >= 2", sync="coffee!")
+    m.edge("idle", "idle", sync="strong?")
+    m.edge("forced", "forced", sync="strong?")
+    m.edge("brew", "brew", sync="coin?")
+    m.edge("forced", "forced", sync="coin?")
+    m.edge("cup", "cup", sync="coin?")
+    m.edge("cup", "cup", sync="strong?")
+
+    user = net.automaton("U")
+    user.location("u", initial=True)
+    user.edge("u", "u", sync="coin!", assign="z := 0")
+    user.edge("u", "u", guard="z >= 1", sync="strong!", assign="z := 0")
+    for drink in ("coffee", "tea"):
+        user.edge("u", "u", sync=f"{drink}?", assign="z := 0")
+    return net.build()
+
+
+def main():
+    arena = System(build_arena())
+    plant = System(build_machine())
+
+    # 1. State the test purpose and solve the timed game.
+    purpose = parse_query("control: A<> M.cup && x >= 2")
+    tea_free = parse_query("control: A<> M.forced")
+    result = solve_reachability_game(arena, tea_free)
+    print(f"purpose {tea_free}: winning = {result.winning}")
+
+    result = solve_reachability_game(arena, purpose)
+    print(f"purpose {purpose}: winning = {result.winning}")
+
+    # 2. The winning strategy IS the test case (paper §3.2).
+    strategy = Strategy(solve_reachability_game(arena, tea_free))
+    print(f"\nwinning strategy over {strategy.size} symbolic states:")
+    print(strategy.describe(max_nodes=4))
+
+    # 3. Execute it against implementations (paper Algorithm 3.1).
+    print("\ntest executions:")
+    for name, policy in [
+        ("lazy machine", LazyPolicy()),
+        ("random machine", RandomPolicy(7)),
+    ]:
+        imp = SimulatedImplementation(System(build_machine()), policy)
+        run = execute_test(strategy, plant, imp)
+        print(f"  {name:16s}: {run}")
+
+
+if __name__ == "__main__":
+    main()

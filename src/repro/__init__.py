@@ -1,0 +1,69 @@
+"""repro — game-theoretic real-time system testing.
+
+A from-scratch reproduction of:
+
+    A. David, K. G. Larsen, S. Li, B. Nielsen.
+    "A Game-Theoretic Approach to Real-Time System Testing." DATE 2008.
+
+The library models uncontrollable real-time systems as Timed I/O Game
+Automata, synthesizes winning strategies for TCTL test purposes with a
+built-in timed-game solver (an UPPAAL-TIGA analogue over a DBM/federation
+kernel), and executes those strategies as test cases against black-box
+implementations under the tioco conformance relation.
+
+Quickstart::
+
+    from repro import NetworkBuilder, System, parse_query
+    from repro import solve_reachability_game, Strategy
+
+    # build a TIOGA network (see repro.models.smartlight for a full one)
+    system = System(network)
+    result = solve_reachability_game(system, parse_query("control: A<> IUT.Goal"))
+    strategy = Strategy(result)
+"""
+
+from .dbm import DBM, Federation
+from .expr.env import Declarations
+from .expr.parser import parse_assignments, parse_expression
+from .game.cooperative import CooperativeStrategy, solve_cooperative
+from .game.export import PackedStrategy, load_strategy, save_strategy
+from .game.safety import (
+    SafetyGameSolver,
+    SafetyResult,
+    SafetyStrategy,
+    solve_safety_game,
+)
+from .game.solver import (
+    GameError,
+    GameResult,
+    OnTheFlySolver,
+    TwoPhaseSolver,
+    solve_reachability_game,
+)
+from .game.strategy import Decision, Strategy, Verdictish
+from .graph.explorer import ExplorationLimit, SimulationGraph
+from .graph.reachability import check_invariant, check_reachable, find_deadlocks
+from .semantics.state import ConcreteState, SymbolicState
+from .semantics.system import Move, System
+from .ta.builder import AutomatonBuilder, NetworkBuilder
+from .ta.model import Network, ModelError
+from .ta.validate import validate_plant
+from .tctl.goals import GoalPredicate
+from .tctl.query import Query, parse_query
+from .testing import (
+    CampaignReport,
+    EagerPolicy,
+    LazyPolicy,
+    QuiescentPolicy,
+    RandomPolicy,
+    RelativizedMonitor,
+    SimulatedImplementation,
+    TestCampaign,
+    TestExecutor,
+    TiocoMonitor,
+    execute_test,
+    replay_trace,
+)
+from .testing.trace import FAIL, INCONCLUSIVE, PASS, TestRun, TimedTrace
+
+__version__ = "1.0.0"

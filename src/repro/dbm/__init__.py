@@ -1,0 +1,39 @@
+"""DBM kernel: encoded bounds, canonical DBMs, and federations of zones."""
+
+from .bounds import (
+    INF,
+    LE_ZERO,
+    LT_ZERO,
+    add_bounds,
+    bound,
+    bound_as_string,
+    bound_value,
+    decode,
+    is_strict,
+    le,
+    lt,
+    negate,
+    satisfies,
+)
+from .dbm import DBM, Constraint
+from .federation import Federation, subtract_zone
+
+__all__ = [
+    "INF",
+    "LE_ZERO",
+    "LT_ZERO",
+    "add_bounds",
+    "bound",
+    "bound_as_string",
+    "bound_value",
+    "decode",
+    "is_strict",
+    "le",
+    "lt",
+    "negate",
+    "satisfies",
+    "DBM",
+    "Constraint",
+    "Federation",
+    "subtract_zone",
+]

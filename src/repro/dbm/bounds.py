@@ -1,0 +1,98 @@
+"""Encoded difference bounds for DBMs.
+
+A difference bound is a pair ``(b, strictness)`` meaning ``x - y < b`` or
+``x - y <= b``.  Following the classic UPPAAL encoding, a bound is stored in
+a single integer::
+
+    enc = (b << 1) | (1 if non-strict (<=) else 0)
+
+so that the natural integer order on encodings coincides with the bound
+order (a smaller encoding is a tighter constraint), and the unbounded case
+is a large sentinel ``INF``.  Addition of bounds (used by Floyd-Warshall
+closure) is ``(b1 + b2, <= iff both <=)``, implemented on encodings by
+``add_bounds``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Sentinel for "no constraint" (x - y < infinity).  Large enough that no
+#: model constant can reach it, small enough that sums never overflow int64.
+INF = 1 << 40
+
+#: Encoding of the bound (0, <=): the tightest bound compatible with x == y.
+LE_ZERO = 1
+
+#: Encoding of the bound (0, <): used for strict non-negativity.
+LT_ZERO = 0
+
+
+def bound(value: int, strict: bool) -> int:
+    """Encode the bound ``x - y < value`` (strict) or ``x - y <= value``."""
+    return (value << 1) | (0 if strict else 1)
+
+
+def le(value: int) -> int:
+    """Encode ``<= value``."""
+    return (value << 1) | 1
+
+
+def lt(value: int) -> int:
+    """Encode ``< value``."""
+    return value << 1
+
+
+def bound_value(enc: int) -> int:
+    """The integer constant of an encoded bound (undefined for INF)."""
+    return enc >> 1
+
+
+def is_strict(enc: int) -> bool:
+    """True if the encoded bound is strict (``<``)."""
+    return (enc & 1) == 0
+
+
+def decode(enc: int) -> Tuple[int, bool]:
+    """Decode to ``(value, strict)``; INF decodes to ``(INF >> 1, True)``."""
+    return enc >> 1, (enc & 1) == 0
+
+
+def add_bounds(a: int, b: int) -> int:
+    """Sum of two encoded bounds, saturating at INF.
+
+    ``(b1, s1) + (b2, s2) = (b1 + b2, strict if either is strict)``.
+    """
+    if a >= INF or b >= INF:
+        return INF
+    return ((a >> 1) + (b >> 1) << 1) | (a & b & 1)
+
+
+def negate(enc: int) -> int:
+    """Encoded negation: the complement of ``x - y ≺ b`` is ``y - x ≺' -b``.
+
+    ``not (x - y <= b)`` is ``y - x < -b``; ``not (x - y < b)`` is
+    ``y - x <= -b``.  Undefined for INF (the complement of "true" is empty).
+    """
+    if enc >= INF:
+        raise ValueError("cannot negate an infinite bound")
+    value, strict = decode(enc)
+    return bound(-value, not strict)
+
+
+def bound_as_string(enc: int, lhs: str = "x", rhs: str = "") -> str:
+    """Human-readable form, e.g. ``x - y <= 3`` or ``x < 5``."""
+    if enc >= INF:
+        return f"{lhs}{' - ' + rhs if rhs else ''} < inf"
+    value, strict = decode(enc)
+    op = "<" if strict else "<="
+    left = f"{lhs} - {rhs}" if rhs else lhs
+    return f"{left} {op} {value}"
+
+
+def satisfies(difference, enc: int) -> bool:
+    """Whether a concrete difference (int/float/Fraction) satisfies a bound."""
+    if enc >= INF:
+        return True
+    value, strict = decode(enc)
+    return difference < value if strict else difference <= value

@@ -1,0 +1,424 @@
+"""Difference Bound Matrices over a fixed clock set.
+
+A :class:`DBM` represents a convex clock zone: a conjunction of constraints
+``x_i - x_j ≺ b`` with ``≺ ∈ {<, <=}`` over clocks ``x_1 .. x_{dim-1}`` plus
+the reference clock ``x_0 = 0``.  Entry ``(i, j)`` holds the encoded bound
+on ``x_i - x_j`` (see :mod:`repro.dbm.bounds`).
+
+All public operations return *new, canonical* DBMs; instances are treated
+as immutable after construction.  Canonical (closed) form means the matrix
+is its own shortest-path closure, which makes inclusion and equality tests
+pointwise comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bounds import (
+    INF,
+    LE_ZERO,
+    add_bounds,
+    bound_as_string,
+    decode,
+    satisfies,
+)
+
+Constraint = Tuple[int, int, int]  # (i, j, encoded bound): x_i - x_j ≺ b
+
+
+def _saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized encoded-bound addition with INF saturation."""
+    total = a + b - ((a | b) & 1)
+    return np.where((a >= INF) | (b >= INF), INF, total)
+
+
+class DBM:
+    """A canonical difference bound matrix (a convex clock zone)."""
+
+    __slots__ = ("m", "dim", "_empty", "_hash")
+
+    def __init__(self, matrix: np.ndarray, *, empty: bool = False):
+        self.m = matrix
+        self.dim = matrix.shape[0]
+        self._empty = empty
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def universal(cls, dim: int) -> "DBM":
+        """The zone of all clock valuations (only ``x_i >= 0``)."""
+        m = np.full((dim, dim), INF, dtype=np.int64)
+        m[0, :] = LE_ZERO
+        np.fill_diagonal(m, LE_ZERO)
+        return cls(m)
+
+    @classmethod
+    def zero(cls, dim: int) -> "DBM":
+        """The singleton zone where every clock equals 0."""
+        m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
+        return cls(m)
+
+    @classmethod
+    def empty(cls, dim: int) -> "DBM":
+        """A canonical empty zone."""
+        m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
+        return cls(m, empty=True)
+
+    @classmethod
+    def from_constraints(cls, dim: int, constraints: Iterable[Constraint]) -> "DBM":
+        """The zone satisfying all the given constraints (and ``x_i >= 0``)."""
+        return cls.universal(dim).constrained(constraints)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the zone denotes the empty set."""
+        return self._empty
+
+    def is_universal(self) -> bool:
+        """True iff the zone is all of ``R_{>=0}^clocks``."""
+        if self._empty:
+            return False
+        return self.equals(DBM.universal(self.dim))
+
+    def __bool__(self) -> bool:
+        return not self._empty
+
+    def equals(self, other: "DBM") -> bool:
+        """Set equality (canonical forms are unique)."""
+        if self._empty or other._empty:
+            return self._empty and other._empty
+        return bool(np.array_equal(self.m, other.m))
+
+    def includes(self, other: "DBM") -> bool:
+        """True iff ``other ⊆ self`` (as sets of valuations)."""
+        if other._empty:
+            return True
+        if self._empty:
+            return False
+        return bool(np.all(self.m >= other.m))
+
+    def intersects(self, other: "DBM") -> bool:
+        """Whether the zones share a point."""
+        return not self.intersect(other).is_empty()
+
+    def hash_key(self) -> bytes:
+        """A bytes key identifying this zone (canonical forms are unique)."""
+        if self._empty:
+            return b"empty:%d" % self.dim
+        return self.m.tobytes()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.hash_key())
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DBM) and self.equals(other)
+
+    # ------------------------------------------------------------------
+    # Closure
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _close(m: np.ndarray) -> bool:
+        """Floyd-Warshall closure in place; returns False if inconsistent."""
+        dim = m.shape[0]
+        for k in range(dim):
+            through_k = _saturating_add(m[:, k : k + 1], m[k : k + 1, :])
+            np.minimum(m, through_k, out=m)
+        if bool(np.any(np.diagonal(m) < LE_ZERO)):
+            return False
+        return True
+
+    @classmethod
+    def _from_raw(cls, m: np.ndarray) -> "DBM":
+        """Close a raw matrix and wrap it (empty if inconsistent)."""
+        if cls._close(m):
+            return cls(m)
+        return cls.empty(m.shape[0])
+
+    # ------------------------------------------------------------------
+    # Constraining
+    # ------------------------------------------------------------------
+
+    def would_be_empty_after(self, i: int, j: int, enc: int) -> bool:
+        """Cheap exact test: does adding ``x_i - x_j ≺ b`` empty this zone?
+
+        For a canonical DBM the only candidate negative cycle goes through
+        the tightened edge, so the test is ``m[j, i] + enc < (0, <=)``.
+        """
+        if self._empty:
+            return True
+        if enc >= self.m[i, j]:
+            return False
+        return add_bounds(int(self.m[j, i]), enc) < LE_ZERO
+
+    def tighten(self, i: int, j: int, enc: int) -> "DBM":
+        """Intersect with one constraint, using O(dim^2) incremental closure."""
+        if self._empty or enc >= self.m[i, j]:
+            return self
+        if add_bounds(int(self.m[j, i]), enc) < LE_ZERO:
+            return DBM.empty(self.dim)
+        m = self.m.copy()
+        m[i, j] = enc
+        # Re-close: any shortest path can now route p -> i -> j -> q.
+        via = _saturating_add(
+            _saturating_add(m[:, i : i + 1], np.int64(enc)), m[j : j + 1, :]
+        )
+        np.minimum(m, via, out=m)
+        return DBM(m)
+
+    def constrained(self, constraints: Iterable[Constraint]) -> "DBM":
+        """Intersect with a conjunction of constraints."""
+        zone = self
+        for i, j, enc in constraints:
+            zone = zone.tighten(i, j, enc)
+            if zone._empty:
+                break
+        return zone
+
+    def intersect(self, other: "DBM") -> "DBM":
+        """Zone intersection (canonical)."""
+        if self._empty or other._empty:
+            return DBM.empty(self.dim)
+        if self.includes(other):
+            return other
+        if other.includes(self):
+            return self
+        m = np.minimum(self.m, other.m)
+        return DBM._from_raw(m)
+
+    # ------------------------------------------------------------------
+    # Timed operators
+    # ------------------------------------------------------------------
+
+    def up(self) -> "DBM":
+        """Delay successors (future): ``{v + d | v in Z, d >= 0}``."""
+        if self._empty:
+            return self
+        m = self.m.copy()
+        m[1:, 0] = INF
+        return DBM(m)  # removing upper bounds preserves canonicity
+
+    def down(self) -> "DBM":
+        """Delay predecessors (past): ``{v | exists d >= 0: v + d in Z}``."""
+        if self._empty:
+            return self
+        m = self.m.copy()
+        m[0, 1:] = LE_ZERO
+        return DBM._from_raw(m)
+
+    def reset(self, clocks: Sequence[int]) -> "DBM":
+        """The zone after setting each clock in ``clocks`` to 0."""
+        if self._empty or not clocks:
+            return self
+        m = self.m.copy()
+        for x in clocks:
+            m[x, :] = m[0, :]
+            m[:, x] = m[:, 0]
+            m[x, x] = LE_ZERO
+            m[x, 0] = LE_ZERO
+            m[0, x] = LE_ZERO
+        return DBM(m)  # reset preserves canonicity
+
+    def free(self, clocks: Sequence[int]) -> "DBM":
+        """Remove all constraints on the given clocks (keeping ``x >= 0``).
+
+        This is the inverse-image helper for reset: ``free_x(Z ∩ {x=0})``
+        is exactly ``{v | v[x := 0] in Z}``.
+        """
+        if self._empty or not clocks:
+            return self
+        m = self.m.copy()
+        for x in clocks:
+            m[x, :] = INF
+            m[:, x] = _saturating_add(m[:, 0], np.int64(LE_ZERO))
+            m[x, x] = LE_ZERO
+            m[0, x] = LE_ZERO
+        return DBM(m)  # construction is canonical (see module tests)
+
+    def reset_pred(self, clocks: Sequence[int]) -> "DBM":
+        """Pre-image of a reset: ``{v | v[clocks := 0] ∈ self}``."""
+        if not clocks:
+            return self
+        at_zero = self.constrained([(x, 0, LE_ZERO) for x in clocks])
+        return at_zero.free(clocks)
+
+    def assign_clocks(self, pairs: Sequence[Tuple[int, int]]) -> "DBM":
+        """The zone after ``x := c`` for each ``(x, c)`` (c >= 0)."""
+        if self._empty or not pairs:
+            return self
+        zone = self.reset([x for x, _ in pairs])
+        shifts = [(x, c) for x, c in pairs if c != 0]
+        if not shifts:
+            return zone
+        m = zone.m.copy()
+        for x, c in shifts:
+            # x currently equals 0; shift it to c.
+            m[x, :] = _saturating_add(m[x, :], np.int64((c << 1) | 1))
+            m[:, x] = _saturating_add(m[:, x], np.int64(((-c) << 1) | 1))
+            m[x, x] = LE_ZERO
+        return DBM(m)  # a pure shift of one coordinate preserves canonicity
+
+    def assign_pred(self, pairs: Sequence[Tuple[int, int]]) -> "DBM":
+        """Pre-image of clock assignments: ``{v | v[x := c, ...] ∈ self}``."""
+        if not pairs:
+            return self
+        fixed = self.constrained(
+            [(x, 0, (c << 1) | 1) for x, c in pairs]
+            + [(0, x, ((-c) << 1) | 1) for x, c in pairs]
+        )
+        return fixed.free([x for x, _ in pairs])
+
+    # ------------------------------------------------------------------
+    # Extrapolation
+    # ------------------------------------------------------------------
+
+    def extrapolate(self, max_consts: Sequence[int]) -> "DBM":
+        """Classic maximum-constant extrapolation (ExtraM).
+
+        ``max_consts[i]`` is the largest constant clock ``x_i`` is compared
+        against anywhere in the model (index 0 unused).  Only sound for
+        diagonal-free models.
+        """
+        if self._empty:
+            return self
+        m = self.m.copy()
+        dim = self.dim
+        changed = False
+        for i in range(1, dim):
+            k_i = max_consts[i]
+            for j in range(dim):
+                if i == j:
+                    continue
+                enc = m[i, j]
+                if enc < INF and (enc >> 1) > k_i:
+                    m[i, j] = INF
+                    changed = True
+        for j in range(1, dim):
+            k_j = max_consts[j]
+            enc = m[0, j]
+            if enc < INF and (enc >> 1) < -k_j:
+                m[0, j] = (-k_j) << 1  # encode (-k_j, <)
+                changed = True
+        if not changed:
+            return self
+        return DBM._from_raw(m)
+
+    # ------------------------------------------------------------------
+    # Concrete valuations
+    # ------------------------------------------------------------------
+
+    def contains(self, valuation: Sequence) -> bool:
+        """Whether a concrete valuation (indexable by clock id, [0]=0) lies
+        in the zone.  Values may be ints, floats or Fractions."""
+        if self._empty:
+            return False
+        for i in range(self.dim):
+            vi = valuation[i] if i else 0
+            for j in range(self.dim):
+                if i == j:
+                    continue
+                vj = valuation[j] if j else 0
+                if not satisfies(vi - vj, int(self.m[i, j])):
+                    return False
+        return True
+
+    def sample(self):
+        """Some rational point of the zone (None if empty).
+
+        Uses the standard point-construction argument for canonical DBMs:
+        fix clocks left to right; by the triangle inequality the feasible
+        interval for each next clock (w.r.t. the already-fixed ones) is
+        nonempty.  Prefers the lowest feasible value; takes midpoints at
+        strict boundaries.
+        """
+        from fractions import Fraction
+
+        if self._empty:
+            return None
+        point: List[Fraction] = [Fraction(0)] * self.dim
+        for x in range(1, self.dim):
+            lo = Fraction(0)
+            lo_strict = False
+            hi: Optional[Fraction] = None
+            hi_strict = False
+            for j in range(0, x):
+                vj = point[j]
+                # x_j - x ≺ m[j, x]  ->  x ≥/> v_j - b
+                enc = int(self.m[j, x])
+                if enc < INF:
+                    value, strict = decode(enc)
+                    cand = vj - value
+                    if cand > lo or (cand == lo and strict and not lo_strict):
+                        lo, lo_strict = cand, strict
+                # x - x_j ≺ m[x, j]  ->  x ≤/< v_j + b
+                enc = int(self.m[x, j])
+                if enc < INF:
+                    value, strict = decode(enc)
+                    cand = vj + value
+                    if hi is None or cand < hi or (
+                        cand == hi and strict and not hi_strict
+                    ):
+                        hi, hi_strict = cand, strict
+            if not lo_strict:
+                point[x] = lo
+            elif hi is None:
+                point[x] = lo + 1
+            else:
+                point[x] = (lo + hi) / 2
+        if not self.contains(point):  # pragma: no cover - safety net
+            raise AssertionError("DBM.sample produced an external point")
+        return point
+
+    # ------------------------------------------------------------------
+    # Introspection / printing
+    # ------------------------------------------------------------------
+
+    def constraints(self) -> List[Constraint]:
+        """All finite off-diagonal constraints of the canonical form."""
+        out = []
+        for i in range(self.dim):
+            for j in range(self.dim):
+                if i != j and self.m[i, j] < INF:
+                    out.append((i, j, int(self.m[i, j])))
+        return out
+
+    def nontrivial_constraints(self) -> List[Constraint]:
+        """Finite constraints excluding the implicit ``x >= 0`` bounds."""
+        out = []
+        for i, j, enc in self.constraints():
+            if i == 0 and enc == LE_ZERO:
+                continue
+            out.append((i, j, enc))
+        return out
+
+    def to_string(self, names: Optional[Sequence[str]] = None) -> str:
+        """Human-readable conjunction of the non-trivial constraints."""
+        if self._empty:
+            return "false"
+        names = names or [f"x{k}" for k in range(self.dim)]
+        parts = []
+        for i, j, enc in self.nontrivial_constraints():
+            if i == 0:
+                # -x_j ≺ b  ->  x_j ≥/-... print as lower bound
+                value, strict = decode(enc)
+                op = ">" if strict else ">="
+                parts.append(f"{names[j]} {op} {-value}")
+            elif j == 0:
+                parts.append(bound_as_string(enc, names[i]))
+            else:
+                parts.append(bound_as_string(enc, names[i], names[j]))
+        return " && ".join(parts) if parts else "true"
+
+    def __repr__(self) -> str:
+        return f"DBM({self.to_string()})"

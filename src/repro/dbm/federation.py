@@ -1,0 +1,278 @@
+"""Federations: finite unions of DBM zones.
+
+A :class:`Federation` represents a (possibly non-convex) set of clock
+valuations as a list of nonempty canonical DBMs.  The list is kept small
+by subsumption reduction (zones contained in a sibling zone are dropped)
+but is not guaranteed minimal; set-level comparisons (:meth:`includes`,
+:meth:`equals`) are exact, via zone subtraction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .bounds import INF, negate
+from .dbm import DBM
+
+
+def subtract_zone(a: DBM, b: DBM) -> List[DBM]:
+    """``a \\ b`` as a list of disjoint nonempty zones.
+
+    Splits ``a`` on each constraint of ``b``: the part of ``a`` violating
+    the constraint is carved off, the remainder continues to the next
+    constraint.  Uses the cheap negative-cycle pre-test to avoid closing
+    empty pieces.
+    """
+    if a.is_empty():
+        return []
+    if b.is_empty():
+        return [a]
+    if b.includes(a):
+        return []
+    pieces: List[DBM] = []
+    rem = a
+    for i, j, enc in b.nontrivial_constraints():
+        if enc >= INF:
+            continue
+        neg = negate(enc)
+        if not rem.would_be_empty_after(j, i, neg):
+            piece = rem.tighten(j, i, neg)
+            if not piece.is_empty():
+                pieces.append(piece)
+        rem = rem.tighten(i, j, enc)
+        if rem.is_empty():
+            break
+    return pieces
+
+
+class Federation:
+    """An immutable union of convex zones over a common clock set."""
+
+    __slots__ = ("dim", "zones")
+
+    def __init__(self, dim: int, zones: Iterable[DBM] = ()):
+        self.dim = dim
+        self.zones: List[DBM] = _reduce([z for z in zones if not z.is_empty()])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dim: int) -> "Federation":
+        return cls(dim, ())
+
+    @classmethod
+    def universal(cls, dim: int) -> "Federation":
+        return cls(dim, (DBM.universal(dim),))
+
+    @classmethod
+    def from_zone(cls, zone: DBM) -> "Federation":
+        return cls(zone.dim, (zone,))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the federation denotes the empty set."""
+        return not self.zones
+
+    def __bool__(self) -> bool:
+        return bool(self.zones)
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __iter__(self):
+        return iter(self.zones)
+
+    def contains(self, valuation) -> bool:
+        """Whether a concrete valuation lies in some member zone."""
+        return any(z.contains(valuation) for z in self.zones)
+
+    def sample(self):
+        """A rational point of the federation (None if empty)."""
+        if not self.zones:
+            return None
+        return self.zones[0].sample()
+
+    def includes(self, other: "Federation") -> bool:
+        """Exact set inclusion ``other ⊆ self``."""
+        for zone in other.zones:
+            leftover = [zone]
+            for mine in self.zones:
+                next_leftover: List[DBM] = []
+                for piece in leftover:
+                    next_leftover.extend(subtract_zone(piece, mine))
+                leftover = next_leftover
+                if not leftover:
+                    break
+            if leftover:
+                return False
+        return True
+
+    def includes_zone(self, zone: DBM) -> bool:
+        """Exact test ``zone ⊆ self``."""
+        return self.includes(Federation.from_zone(zone))
+
+    def equals(self, other: "Federation") -> bool:
+        """Exact set equality (mutual inclusion)."""
+        return self.includes(other) and other.includes(self)
+
+    def intersects(self, other: "Federation") -> bool:
+        """Whether the two federations share at least one point."""
+        return any(a.intersects(b) for a in self.zones for b in other.zones)
+
+    def hash_key(self) -> bytes:
+        """An order-insensitive bytes key over the member zones."""
+        keys = sorted(z.hash_key() for z in self.zones)
+        return b"|".join(keys)
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Federation") -> "Federation":
+        """Set union (with cheap pairwise subsumption reduction)."""
+        if not other.zones:
+            return self
+        if not self.zones:
+            return other
+        return Federation(self.dim, self.zones + other.zones)
+
+    def union_zone(self, zone: DBM) -> "Federation":
+        """Union with a single zone."""
+        if zone.is_empty():
+            return self
+        return Federation(self.dim, self.zones + [zone])
+
+    def intersect(self, other: "Federation") -> "Federation":
+        """Set intersection (pairwise over member zones)."""
+        out: List[DBM] = []
+        for a in self.zones:
+            for b in other.zones:
+                c = a.intersect(b)
+                if not c.is_empty():
+                    out.append(c)
+        return Federation(self.dim, out)
+
+    def intersect_zone(self, zone: DBM) -> "Federation":
+        """Intersection with a single zone."""
+        out = []
+        for a in self.zones:
+            c = a.intersect(zone)
+            if not c.is_empty():
+                out.append(c)
+        return Federation(self.dim, out)
+
+    def subtract_dbm(self, zone: DBM) -> "Federation":
+        """Set difference ``self \\ zone`` (exact, possibly more zones)."""
+        out: List[DBM] = []
+        for a in self.zones:
+            out.extend(subtract_zone(a, zone))
+        return Federation(self.dim, out)
+
+    def subtract(self, other: "Federation") -> "Federation":
+        """Set difference ``self \\ other`` (exact)."""
+        result = self
+        for zone in other.zones:
+            result = result.subtract_dbm(zone)
+            if result.is_empty():
+                break
+        return result
+
+    def complement_within(self, universe: DBM) -> "Federation":
+        """``universe \\ self``."""
+        return Federation.from_zone(universe).subtract(self)
+
+    # ------------------------------------------------------------------
+    # Timed operators (zone-wise maps)
+    # ------------------------------------------------------------------
+
+    def _map(self, fn: Callable[[DBM], DBM]) -> "Federation":
+        return Federation(self.dim, (fn(z) for z in self.zones))
+
+    def up(self) -> "Federation":
+        """Delay successors of every member zone."""
+        return self._map(lambda z: z.up())
+
+    def down(self) -> "Federation":
+        """Delay predecessors of every member zone."""
+        return self._map(lambda z: z.down())
+
+    def reset(self, clocks: Sequence[int]) -> "Federation":
+        """Reset the given clocks to 0 in every member zone."""
+        return self._map(lambda z: z.reset(clocks))
+
+    def free(self, clocks: Sequence[int]) -> "Federation":
+        """Drop all constraints on the given clocks."""
+        return self._map(lambda z: z.free(clocks))
+
+    def reset_pred(self, clocks: Sequence[int]) -> "Federation":
+        """Pre-image of a reset-to-zero of the given clocks."""
+        return self._map(lambda z: z.reset_pred(clocks))
+
+    def assign_clocks(self, pairs) -> "Federation":
+        """Assign constants to clocks in every member zone."""
+        return self._map(lambda z: z.assign_clocks(pairs))
+
+    def assign_pred(self, pairs) -> "Federation":
+        """Pre-image of constant clock assignments."""
+        return self._map(lambda z: z.assign_pred(pairs))
+
+    def constrained(self, constraints) -> "Federation":
+        """Intersect every member zone with encoded constraints."""
+        return self._map(lambda z: z.constrained(constraints))
+
+    def extrapolate(self, max_consts: Sequence[int]) -> "Federation":
+        """ExtraM extrapolation of every member zone."""
+        return self._map(lambda z: z.extrapolate(max_consts))
+
+    def compact(self) -> "Federation":
+        """Drop zones covered by the union of the remaining zones (exact)."""
+        kept: List[DBM] = list(self.zones)
+        changed = True
+        while changed:
+            changed = False
+            for idx, zone in enumerate(kept):
+                rest = Federation(self.dim, kept[:idx] + kept[idx + 1 :])
+                if rest.includes_zone(zone):
+                    kept.pop(idx)
+                    changed = True
+                    break
+        out = Federation.empty(self.dim)
+        out.zones = kept
+        return out
+
+    # ------------------------------------------------------------------
+    # Printing
+    # ------------------------------------------------------------------
+
+    def to_string(self, names: Optional[Sequence[str]] = None) -> str:
+        """Human-readable disjunction of the member zones."""
+        if not self.zones:
+            return "false"
+        parts = [z.to_string(names) for z in self.zones]
+        if len(parts) == 1:
+            return parts[0]
+        return " || ".join(f"({p})" for p in parts)
+
+    def __repr__(self) -> str:
+        return f"Federation({self.to_string()})"
+
+
+def _reduce(zones: List[DBM]) -> List[DBM]:
+    """Drop zones pairwise included in another zone (cheap reduction)."""
+    kept: List[DBM] = []
+    for zone in zones:
+        dominated = False
+        for idx, other in enumerate(kept):
+            if other.includes(zone):
+                dominated = True
+                break
+        if dominated:
+            continue
+        kept = [k for k in kept if not zone.includes(k)]
+        kept.append(zone)
+    return kept

@@ -1,0 +1,159 @@
+"""AST node types for the expression language.
+
+Nodes are small frozen dataclasses.  The same AST is used for edge guards,
+location invariants, edge assignments, and test-purpose predicates; which
+constructs are legal where is enforced by the consumers (e.g. invariants
+reject disjunction, assignments reject clocks on the right-hand side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+Expr = Union[
+    "IntLiteral",
+    "BoolLiteral",
+    "Name",
+    "ArrayIndex",
+    "Field",
+    "Unary",
+    "Binary",
+    "Quantifier",
+]
+
+
+@dataclass(frozen=True)
+class IntLiteral:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolLiteral:
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Name:
+    """A reference to a variable, constant, clock, or quantifier binding."""
+
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class ArrayIndex:
+    array: Expr
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Field:
+    """Dotted access, used for location tests like ``IUT.Bright``."""
+
+    base: Expr
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.field}"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-', '!'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # '+','-','*','/','%','==','!=','<','<=','>','>=','&&','||','imply'
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    kind: str  # 'forall' | 'exists'
+    binder: str
+    low: Expr
+    high: Expr
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"{self.kind} ({self.binder} : [{self.low}, {self.high}]) {self.body}"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One assignment ``target := value`` (``=`` and ``:=`` are synonyms)."""
+
+    target: Expr  # Name or ArrayIndex
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.value}"
+
+
+COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+LOGICAL = ("&&", "||", "imply")
+ARITHMETIC = ("+", "-", "*", "/", "%")
+
+
+def walk(expr: Expr):
+    """Yield every node of the expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, (IntLiteral, BoolLiteral, Name)):
+        return
+    if isinstance(expr, ArrayIndex):
+        yield from walk(expr.array)
+        yield from walk(expr.index)
+    elif isinstance(expr, Field):
+        yield from walk(expr.base)
+    elif isinstance(expr, Unary):
+        yield from walk(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk(expr.lhs)
+        yield from walk(expr.rhs)
+    elif isinstance(expr, Quantifier):
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+        yield from walk(expr.body)
+
+
+def names_in(expr: Expr) -> List[str]:
+    """All plain identifiers referenced by the expression."""
+    return [node.ident for node in walk(expr) if isinstance(node, Name)]
+
+
+def conjuncts(expr: Expr) -> List[Expr]:
+    """Flatten a conjunction ``a && b && c`` into ``[a, b, c]``."""
+    if isinstance(expr, Binary) and expr.op == "&&":
+        return conjuncts(expr.lhs) + conjuncts(expr.rhs)
+    return [expr]
+
+
+def make_conjunction(parts: List[Expr]) -> Expr:
+    """Rebuild a conjunction from parts (``true`` for the empty list)."""
+    if not parts:
+        return BoolLiteral(True)
+    result = parts[0]
+    for part in parts[1:]:
+        result = Binary("&&", result, part)
+    return result

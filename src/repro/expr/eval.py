@@ -1,0 +1,271 @@
+"""Evaluation of integer/boolean expressions over discrete states.
+
+Clocks never appear here: guards are split into clock atoms and integer
+atoms by :mod:`repro.expr.clocksplit`, and only the integer part reaches
+this evaluator.  Booleans are represented as ints (0/1), matching UPPAAL's
+coercion rules closely enough for the models in this project.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .ast import (
+    ArrayIndex,
+    Assignment,
+    Binary,
+    BoolLiteral,
+    Expr,
+    Field,
+    IntLiteral,
+    Name,
+    Quantifier,
+    Unary,
+)
+from .env import Declarations
+
+
+class EvalError(ValueError):
+    """Raised on bad name references, type misuse, or division by zero."""
+
+
+LocationTest = Callable[[str, str], bool]
+
+
+class Context:
+    """Everything needed to evaluate an expression.
+
+    ``location_test(process, location)`` resolves dotted atoms like
+    ``IUT.Bright``; it may be None when such atoms are illegal (e.g. in
+    edge guards).
+    """
+
+    __slots__ = ("decls", "state", "bindings", "location_test")
+
+    def __init__(
+        self,
+        decls: Declarations,
+        state: Tuple[int, ...],
+        location_test: Optional[LocationTest] = None,
+        bindings: Optional[Dict[str, int]] = None,
+    ):
+        self.decls = decls
+        self.state = state
+        self.location_test = location_test
+        self.bindings = bindings or {}
+
+    def with_binding(self, name: str, value: int) -> "Context":
+        """A child context with one extra quantifier binding."""
+        child = Context(self.decls, self.state, self.location_test, dict(self.bindings))
+        child.bindings[name] = value
+        return child
+
+
+def evaluate(expr: Expr, ctx: Context) -> int:
+    """Evaluate to an int (booleans are 0/1)."""
+    if isinstance(expr, IntLiteral):
+        return expr.value
+    if isinstance(expr, BoolLiteral):
+        return 1 if expr.value else 0
+    if isinstance(expr, Name):
+        return _resolve_name(expr.ident, ctx)
+    if isinstance(expr, ArrayIndex):
+        return _resolve_array(expr, ctx)
+    if isinstance(expr, Field):
+        return _resolve_field(expr, ctx)
+    if isinstance(expr, Unary):
+        value = evaluate(expr.operand, ctx)
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return 0 if value else 1
+        raise EvalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Binary):
+        return _eval_binary(expr, ctx)
+    if isinstance(expr, Quantifier):
+        return _eval_quantifier(expr, ctx)
+    raise EvalError(f"cannot evaluate {expr!r}")
+
+
+def evaluate_bool(expr: Expr, ctx: Context) -> bool:
+    """Evaluate as a boolean (nonzero = true)."""
+    return evaluate(expr, ctx) != 0
+
+
+def _eval_binary(expr: Binary, ctx: Context) -> int:
+    op = expr.op
+    if op == "&&":
+        return 1 if (evaluate(expr.lhs, ctx) and evaluate(expr.rhs, ctx)) else 0
+    if op == "||":
+        return 1 if (evaluate(expr.lhs, ctx) or evaluate(expr.rhs, ctx)) else 0
+    if op == "imply":
+        return 1 if (not evaluate(expr.lhs, ctx) or evaluate(expr.rhs, ctx)) else 0
+    lhs = evaluate(expr.lhs, ctx)
+    rhs = evaluate(expr.rhs, ctx)
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise EvalError("division by zero")
+        return int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
+    if op == "%":
+        if rhs == 0:
+            raise EvalError("modulo by zero")
+        return lhs - rhs * (int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs)
+    if op == "==":
+        return 1 if lhs == rhs else 0
+    if op == "!=":
+        return 1 if lhs != rhs else 0
+    if op == "<":
+        return 1 if lhs < rhs else 0
+    if op == "<=":
+        return 1 if lhs <= rhs else 0
+    if op == ">":
+        return 1 if lhs > rhs else 0
+    if op == ">=":
+        return 1 if lhs >= rhs else 0
+    raise EvalError(f"unknown operator {op!r}")
+
+
+def _eval_quantifier(expr: Quantifier, ctx: Context) -> int:
+    low = evaluate(expr.low, ctx)
+    high = evaluate(expr.high, ctx)
+    if expr.kind == "forall":
+        for value in range(low, high + 1):
+            if not evaluate_bool(expr.body, ctx.with_binding(expr.binder, value)):
+                return 0
+        return 1
+    for value in range(low, high + 1):
+        if evaluate_bool(expr.body, ctx.with_binding(expr.binder, value)):
+            return 1
+    return 0
+
+
+def _resolve_name(ident: str, ctx: Context) -> int:
+    if ident in ctx.bindings:
+        return ctx.bindings[ident]
+    decls = ctx.decls
+    if ident in decls.constants:
+        return decls.constants[ident]
+    var = decls.int_vars.get(ident)
+    if var is not None:
+        return ctx.state[var.slot]
+    # Named range bounds synthesized by the parser: "<Type>.__low__".
+    if ident.endswith(".__low__") or ident.endswith(".__high__"):
+        type_name, _, which = ident.rpartition(".")
+        bounds = decls.range_types.get(type_name)
+        if bounds is None:
+            raise EvalError(f"unknown range type {type_name!r}")
+        return bounds[0] if which == "__low__" else bounds[1]
+    if decls.clock_index(ident) is not None:
+        raise EvalError(f"clock {ident!r} used in an integer expression")
+    if ident in decls.arrays:
+        raise EvalError(f"array {ident!r} used without an index")
+    raise EvalError(f"unknown identifier {ident!r}")
+
+
+def _resolve_array(expr: ArrayIndex, ctx: Context) -> int:
+    if not isinstance(expr.array, Name):
+        raise EvalError(f"cannot index {expr.array}")
+    arr = ctx.decls.arrays.get(expr.array.ident)
+    if arr is None:
+        raise EvalError(f"unknown array {expr.array.ident!r}")
+    index = evaluate(expr.index, ctx)
+    if not (0 <= index < arr.size):
+        raise EvalError(f"{arr.name}[{index}] out of bounds (size {arr.size})")
+    return ctx.state[arr.offset + index]
+
+
+def _resolve_field(expr: Field, ctx: Context) -> int:
+    if ctx.location_test is None:
+        raise EvalError(f"location test {expr} not allowed here")
+    if not isinstance(expr.base, Name):
+        raise EvalError(f"malformed location test {expr}")
+    return 1 if ctx.location_test(expr.base.ident, expr.field) else 0
+
+
+# ----------------------------------------------------------------------
+# Assignments
+# ----------------------------------------------------------------------
+
+
+def apply_assignments(
+    assignments: Sequence[Assignment],
+    ctx: Context,
+) -> Tuple[int, ...]:
+    """Apply integer assignments sequentially, returning the new state.
+
+    Each assignment sees the effects of the previous ones (UPPAAL order).
+    Range violations raise :class:`OverflowError`.
+    """
+    state = list(ctx.state)
+    decls = ctx.decls
+    for assign in assignments:
+        local = Context(decls, tuple(state), ctx.location_test, dict(ctx.bindings))
+        value = evaluate(assign.value, local)
+        target = assign.target
+        if isinstance(target, Name):
+            var = decls.int_vars.get(target.ident)
+            if var is None:
+                raise EvalError(f"cannot assign to {target.ident!r}")
+            state[var.slot] = var.clamp_check(value)
+        elif isinstance(target, ArrayIndex):
+            if not isinstance(target.array, Name):
+                raise EvalError(f"cannot assign to {target}")
+            arr = decls.arrays.get(target.array.ident)
+            if arr is None:
+                raise EvalError(f"unknown array {target.array.ident!r}")
+            index = evaluate(target.index, local)
+            state[arr.offset + index] = arr.clamp_check(value, index)
+        else:
+            raise EvalError(f"invalid assignment target {target}")
+    return tuple(state)
+
+
+# ----------------------------------------------------------------------
+# Static bounds (for extrapolation constants)
+# ----------------------------------------------------------------------
+
+
+def static_int_bound(expr: Expr, decls: Declarations) -> int:
+    """An upper bound on ``|value|`` of an integer expression, over all
+    reachable variable values (using declared ranges).  Conservative."""
+    if isinstance(expr, IntLiteral):
+        return abs(expr.value)
+    if isinstance(expr, BoolLiteral):
+        return 1
+    if isinstance(expr, Name):
+        if expr.ident in decls.constants:
+            return abs(decls.constants[expr.ident])
+        var = decls.int_vars.get(expr.ident)
+        if var is not None:
+            return max(abs(var.low), abs(var.high))
+        if expr.ident.endswith(".__low__") or expr.ident.endswith(".__high__"):
+            type_name, _, _ = expr.ident.rpartition(".")
+            low, high = decls.range_types[type_name]
+            return max(abs(low), abs(high))
+        raise EvalError(f"cannot bound identifier {expr.ident!r}")
+    if isinstance(expr, ArrayIndex):
+        if isinstance(expr.array, Name) and expr.array.ident in decls.arrays:
+            arr = decls.arrays[expr.array.ident]
+            return max(abs(arr.low), abs(arr.high))
+        raise EvalError(f"cannot bound {expr}")
+    if isinstance(expr, Unary):
+        return static_int_bound(expr.operand, decls)
+    if isinstance(expr, Binary):
+        lhs = static_int_bound(expr.lhs, decls)
+        rhs = static_int_bound(expr.rhs, decls)
+        if expr.op in ("+", "-"):
+            return lhs + rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op in ("/", "%"):
+            return lhs
+        return 1  # comparisons / logic yield 0 or 1
+    if isinstance(expr, Quantifier):
+        return 1
+    raise EvalError(f"cannot bound {expr!r}")

@@ -1,0 +1,156 @@
+"""Tokenizer for the guard / assignment / query expression language.
+
+The language is a small UPPAAL-flavoured expression syntax: integer
+arithmetic, boolean connectives (``&&``, ``||``, ``!``, ``and``, ``or``,
+``not``, ``imply``), comparisons, array indexing, dotted location tests
+(``Proc.Loc``), bounded quantifiers (``forall (i : Range) ...``) and
+assignments (``x := 0, n = n + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character in an expression."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int', 'ident', 'op', 'kw', 'eof'
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.pos})"
+
+
+KEYWORDS = {
+    "and",
+    "or",
+    "not",
+    "imply",
+    "forall",
+    "exists",
+    "true",
+    "false",
+}
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    ":=",
+    "->",
+    "!",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "[",
+    "]",
+    ".",
+    ",",
+    ":",
+    "?",
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; always ends with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token("int", text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start))
+            continue
+        matched: Optional[str] = None
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise LexError(f"unexpected character {ch!r} at position {i} in {text!r}")
+        tokens.append(Token("op", matched, i))
+        i += len(matched)
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: List[Token], source: str = ""):
+        self._tokens = tokens
+        self._index = 0
+        self.source = source
+
+    @classmethod
+    def of(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text), text)
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 0) -> Token:
+        """Look ahead without consuming (clamped at EOF)."""
+        idx = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        """Consume the current token iff it matches; else return None."""
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        """Consume a required token or raise :class:`LexError`."""
+        token = self.match(kind, text)
+        if token is None:
+            want = text or kind
+            raise LexError(
+                f"expected {want!r} at position {self.current.pos}"
+                f" in {self.source!r}, found {self.current.text!r}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        """True once only EOF remains."""
+        return self.current.kind == "eof"

@@ -1,0 +1,224 @@
+"""Recursive-descent parser for expressions and assignment lists.
+
+Grammar (precedence, loosest first)::
+
+    expr        := imply_expr
+    imply_expr  := or_expr ('imply' or_expr)*          (right-assoc)
+    or_expr     := and_expr (('||' | 'or') and_expr)*
+    and_expr    := not_expr (('&&' | 'and') not_expr)*
+    not_expr    := ('!' | 'not') not_expr | quantifier | comparison
+    quantifier  := ('forall' | 'exists') '(' ident ':' range ')' not_expr
+    range       := ident | 'int' '[' expr ',' expr ']'
+    comparison  := additive (compop additive)?
+    additive    := multiplicative (('+' | '-') multiplicative)*
+    multiplicative := unary (('*' | '/' | '%') unary)*
+    unary       := '-' unary | postfix
+    postfix     := primary ('[' expr ']' | '.' ident)*
+    primary     := int | 'true' | 'false' | ident | '(' expr ')'
+
+    assignments := assignment (',' assignment)*
+    assignment  := postfix (':=' | '=') expr
+
+Quantifier ranges can name a declared scalar-set type (resolved by the
+evaluator via the declaration table) or give explicit bounds with
+``int[lo, hi]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ArrayIndex,
+    Assignment,
+    Binary,
+    BoolLiteral,
+    Expr,
+    Field,
+    IntLiteral,
+    Name,
+    Quantifier,
+    Unary,
+)
+from .lexer import TokenStream
+
+
+class ParseError(ValueError):
+    """Raised on malformed expression syntax."""
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single boolean/integer expression."""
+    stream = TokenStream.of(text)
+    expr = _parse_expr(stream)
+    if not stream.at_end():
+        raise ParseError(
+            f"trailing input at position {stream.current.pos} in {text!r}"
+        )
+    return expr
+
+
+def parse_assignments(text: str) -> List[Assignment]:
+    """Parse a comma-separated assignment list (empty string allowed)."""
+    text = text.strip()
+    if not text:
+        return []
+    stream = TokenStream.of(text)
+    assignments = [_parse_assignment(stream)]
+    while stream.match("op", ","):
+        assignments.append(_parse_assignment(stream))
+    if not stream.at_end():
+        raise ParseError(
+            f"trailing input at position {stream.current.pos} in {text!r}"
+        )
+    return assignments
+
+
+def _parse_assignment(stream: TokenStream) -> Assignment:
+    target = _parse_postfix(stream)
+    if not isinstance(target, (Name, ArrayIndex)):
+        raise ParseError(f"invalid assignment target {target}")
+    if stream.match("op", ":=") is None and stream.match("op", "=") is None:
+        raise ParseError(
+            f"expected ':=' at position {stream.current.pos} in {stream.source!r}"
+        )
+    value = _parse_expr(stream)
+    return Assignment(target, value)
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    return _parse_imply(stream)
+
+
+def _parse_imply(stream: TokenStream) -> Expr:
+    lhs = _parse_or(stream)
+    if stream.match("kw", "imply") or stream.match("op", "->"):
+        rhs = _parse_imply(stream)  # right associative
+        return Binary("imply", lhs, rhs)
+    return lhs
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    expr = _parse_and(stream)
+    while stream.match("op", "||") or stream.match("kw", "or"):
+        rhs = _parse_and(stream)
+        expr = Binary("||", expr, rhs)
+    return expr
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    expr = _parse_not(stream)
+    while stream.match("op", "&&") or stream.match("kw", "and"):
+        rhs = _parse_not(stream)
+        expr = Binary("&&", expr, rhs)
+    return expr
+
+
+def _parse_not(stream: TokenStream) -> Expr:
+    if stream.match("op", "!") or stream.match("kw", "not"):
+        return Unary("!", _parse_not(stream))
+    quantified = _parse_quantifier(stream)
+    if quantified is not None:
+        return quantified
+    return _parse_comparison(stream)
+
+
+def _parse_quantifier(stream: TokenStream) -> Optional[Expr]:
+    kind_token = stream.match("kw", "forall") or stream.match("kw", "exists")
+    if kind_token is None:
+        return None
+    stream.expect("op", "(")
+    binder = stream.expect("ident").text
+    stream.expect("op", ":")
+    low, high = _parse_range(stream)
+    stream.expect("op", ")")
+    body = _parse_not(stream)
+    return Quantifier(kind_token.text, binder, low, high, body)
+
+
+def _parse_range(stream: TokenStream) -> Tuple[Expr, Expr]:
+    if stream.current.kind == "ident" and stream.current.text == "int":
+        stream.advance()
+        stream.expect("op", "[")
+        low = _parse_expr(stream)
+        stream.expect("op", ",")
+        high = _parse_expr(stream)
+        stream.expect("op", "]")
+        return low, high
+    # A named range type: the evaluator resolves its bounds.
+    name = stream.expect("ident").text
+    return Name(f"{name}.__low__"), Name(f"{name}.__high__")
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    lhs = _parse_additive(stream)
+    for op in ("==", "!=", "<=", ">=", "<", ">"):
+        if stream.match("op", op):
+            rhs = _parse_additive(stream)
+            return Binary(op, lhs, rhs)
+    return lhs
+
+
+def _parse_additive(stream: TokenStream) -> Expr:
+    expr = _parse_multiplicative(stream)
+    while True:
+        if stream.match("op", "+"):
+            expr = Binary("+", expr, _parse_multiplicative(stream))
+        elif stream.match("op", "-"):
+            expr = Binary("-", expr, _parse_multiplicative(stream))
+        else:
+            return expr
+
+
+def _parse_multiplicative(stream: TokenStream) -> Expr:
+    expr = _parse_unary(stream)
+    while True:
+        matched = None
+        for op in ("*", "/", "%"):
+            if stream.match("op", op):
+                matched = op
+                break
+        if matched is None:
+            return expr
+        expr = Binary(matched, expr, _parse_unary(stream))
+
+
+def _parse_unary(stream: TokenStream) -> Expr:
+    if stream.match("op", "-"):
+        return Unary("-", _parse_unary(stream))
+    return _parse_postfix(stream)
+
+
+def _parse_postfix(stream: TokenStream) -> Expr:
+    expr = _parse_primary(stream)
+    while True:
+        if stream.match("op", "["):
+            index = _parse_expr(stream)
+            stream.expect("op", "]")
+            expr = ArrayIndex(expr, index)
+        elif stream.match("op", "."):
+            field = stream.expect("ident").text
+            expr = Field(expr, field)
+        else:
+            return expr
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.kind == "int":
+        stream.advance()
+        return IntLiteral(int(token.text))
+    if token.kind == "kw" and token.text in ("true", "false"):
+        stream.advance()
+        return BoolLiteral(token.text == "true")
+    if token.kind == "ident":
+        stream.advance()
+        return Name(token.text)
+    if stream.match("op", "("):
+        expr = _parse_expr(stream)
+        stream.expect("op", ")")
+        return expr
+    raise ParseError(
+        f"unexpected token {token.text!r} at position {token.pos}"
+        f" in {stream.source!r}"
+    )

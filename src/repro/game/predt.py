@@ -1,0 +1,93 @@
+"""The safe-timed-predecessor operator ``Predt``.
+
+``Predt(G, B)`` is the set of states from which the controller can delay
+into the target set ``G`` while avoiding the opponent-bad set ``B`` on the
+way.  Two arrival conventions are needed (see DESIGN.md):
+
+* **strict** (``[0, δ]``) — every point of the delay *including the
+  arrival instant* must avoid ``B``.  Used when the arrival is followed by
+  a controller action: if the opponent can act at the same instant, the
+  tie is resolved adversarially.
+* **lenient** (``[0, δ)``) — the arrival instant itself may touch ``B``.
+  Used when arriving *in* the goal (the run has already won) or in a
+  forced-move state.
+
+Identities used (derived and property-tested in ``tests/test_predt.py``)::
+
+    Predt(∪_i g_i, b)  = ∪_i Predt(g_i, b)
+    Predt(G, ∪_j b_j)  = ∩_j Predt(G, b_j)       (blocked-delay intervals
+                                                   are totally ordered)
+    strict  (g, b) = (g↓ \\ b↓) ∪ ((g ∩ b↓) \\ b)↓
+    lenient (g, b) = (g↓ \\ b↓) ∪ ((g ∩ b↓) \\ up_strict(b))↓
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dbm import DBM, Federation, INF
+
+
+def up_strict(zone: DBM) -> DBM:
+    """``{v + d | v ∈ zone, d > 0}``: the strict future of a zone."""
+    if zone.is_empty():
+        return zone
+    m = zone.m.copy()
+    m[1:, 0] = INF
+    # Make every lower bound strict: (value, <=) becomes (value, <).
+    row = m[0, 1:]
+    m[0, 1:] = np.where(row < INF, row & ~np.int64(1), row)
+    return DBM(m)  # removing uppers / stricter lowers preserves canonicity
+
+
+def _pair(g: DBM, b: DBM, lenient: bool) -> Federation:
+    """Per-convex-pair Predt term."""
+    dim = g.dim
+    g_down = g.down()
+    b_down = b.down()
+    result = Federation.from_zone(g_down).subtract_dbm(b_down)
+    overlap = g.intersect(b_down)
+    if not overlap.is_empty():
+        blocker = up_strict(b) if lenient else b
+        arrivals = Federation.from_zone(overlap).subtract_dbm(blocker)
+        result = result.union(arrivals.down())
+    return result
+
+
+def predt(goal: Federation, bad: Federation, *, lenient: bool = False) -> Federation:
+    """``Predt(goal, bad)`` over federations.
+
+    With ``lenient=True`` the arrival instant may coincide with ``bad``
+    (use for goal / forced-move targets); the start instant must avoid
+    ``bad`` either way unless the delay is zero and ``lenient`` holds.
+    """
+    dim = goal.dim
+    if goal.is_empty():
+        return goal
+    if bad.is_empty():
+        return goal.down()
+    result: Optional[Federation] = None
+    for b in bad.zones:
+        acc = Federation.empty(dim)
+        for g in goal.zones:
+            acc = acc.union(_pair(g, b, lenient))
+        if lenient:
+            # Zero-delay arrival in the goal always wins under [0, δ).
+            acc = acc.union(goal)
+        result = acc if result is None else result.intersect(acc)
+        if result.is_empty():
+            break
+    return result
+
+
+def predt_mixed(
+    action_targets: Federation,
+    goal_targets: Federation,
+    bad: Federation,
+) -> Federation:
+    """Union of strict-arrival and lenient-arrival Predt components."""
+    result = predt(action_targets, bad, lenient=False)
+    lenient_part = predt(goal_targets, bad, lenient=True)
+    return result.union(lenient_part)

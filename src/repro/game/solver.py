@@ -1,0 +1,376 @@
+"""Timed reachability-game solver (the UPPAAL-TIGA analogue).
+
+Given a network, its simulation graph, and a goal predicate, computes for
+every explored node the federation of *winning* states: states from which
+the controller (tester) can force a visit to the goal set whatever the
+uncontrollable (plant) moves are — the reachability control problem of
+paper §3.2.
+
+The fixpoint per node is::
+
+    Win(n) = Goal(n) ∪ [ Predt( G_act ∪ G_goal , B ) ∩ Z(n) ]
+
+    G_act  = ∪ { Pred_e(Win(n'))            : e controllable edge n -> n' }
+    G_goal = Goal(n) ∪ Forced(n)
+    B      = ∪ { Pred_e(Z(n') \\ Win(n'))    : e uncontrollable n -> n' }
+    Forced = Boundary(n) ∩ (∪_u Pred_u(Z(n'))) \\ B
+
+``Boundary(n)`` are states where the location invariant blocks any further
+delay; there a run can only stay maximal by firing an enabled transition,
+so the opponent is *forced* to move — and if every enabled uncontrollable
+move leads to winning states, the controller wins by waiting (paper
+Def. 7/8 maximal-run semantics; this is what makes ``control: A<>
+IUT.Bright`` hold for the Smart Light).
+
+Two solving modes:
+
+* :class:`TwoPhaseSolver` — explore the full simulation graph, then run
+  the backward worklist fixpoint (simple, always exhaustive);
+* :class:`OnTheFlySolver` — interleave forward exploration with backward
+  propagation and stop as soon as the initial state is winning (the
+  paper's SOTFTG analogue, usually much faster on positive instances).
+
+Monotonicity gives every winning state a **rank** (the fixpoint step at
+which it entered ``Win``); ranks strictly decrease along strategy moves
+and opponent moves, which is what makes extracted strategies terminating.
+Rank layers are recorded per node for strategy extraction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dbm import Federation, INF, decode
+from ..graph.explorer import ExplorationLimit, GraphNode, SimulationGraph
+from ..semantics.system import System
+from ..tctl.goals import GoalPredicate
+from ..tctl.query import Query, REACH_GAME
+from .predt import predt_mixed
+
+
+class GameError(RuntimeError):
+    """Raised on unsupported queries or solver misuse."""
+
+
+@dataclass
+class NodeWin:
+    """Winning bookkeeping for one graph node."""
+
+    win: Federation
+    goal: Federation
+    layers: List[Tuple[int, Federation]] = field(default_factory=list)
+
+    def rank_of(self, valuation) -> Optional[int]:
+        """The fixpoint step at which this concrete state became winning."""
+        for step, fed in self.layers:
+            if fed.contains(valuation):
+                return step
+        return None
+
+
+@dataclass
+class GameResult:
+    """Outcome of solving a timed reachability game."""
+
+    winning: bool
+    graph: SimulationGraph
+    wins: Dict[int, NodeWin]
+    goal: GoalPredicate
+    steps: int
+    nodes_explored: int
+    solve_seconds: float
+
+    @property
+    def initial_node(self) -> GraphNode:
+        return self.graph.initial
+
+    def win_of(self, node: GraphNode) -> Federation:
+        """The winning federation computed for a graph node."""
+        entry = self.wins.get(node.id)
+        if entry is None:
+            return Federation.empty(self.graph.system.dim)
+        return entry.win
+
+
+class _BaseSolver:
+    def __init__(
+        self,
+        system: System,
+        query: Query,
+        *,
+        open_system: bool = False,
+        max_nodes: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ):
+        if query.kind != REACH_GAME:
+            raise GameError(
+                f"reachability-game solver got query kind {query.kind!r};"
+                f" use SafetyGameSolver for control: A[] queries"
+            )
+        self.system = system
+        self.query = query
+        self.goal = GoalPredicate(system, query.predicate)
+        extra = [0] * system.dim
+        from ..expr.clocksplit import update_max_constants
+
+        update_max_constants(self.goal.clock_atoms(), system.decls, extra)
+        self.graph = SimulationGraph(
+            system,
+            open_system=open_system,
+            extra_max_consts=extra,
+            max_nodes=max_nodes,
+            time_limit=time_limit,
+        )
+        self.time_limit = time_limit
+        self.wins: Dict[int, NodeWin] = {}
+        self._goal_cache: Dict[int, Federation] = {}
+        self._step = 0
+        self._empty = Federation.empty(system.dim)
+
+    # ------------------------------------------------------------------
+    # Per-node pieces
+    # ------------------------------------------------------------------
+
+    def goal_fed(self, node: GraphNode) -> Federation:
+        cached = self._goal_cache.get(node.id)
+        if cached is None:
+            cached = self.goal.federation(node.sym)
+            self._goal_cache[node.id] = cached
+        return cached
+
+    def win_fed(self, node: GraphNode) -> Federation:
+        entry = self.wins.get(node.id)
+        return self._empty if entry is None else entry.win
+
+    def _boundary(self, node: GraphNode) -> Federation:
+        """States of the node where the invariant blocks any delay."""
+        sym = node.sym
+        if not self.system.can_delay(sym.locs):
+            return Federation.from_zone(sym.zone)
+        inv = self.system.invariant_zone(sym.locs, sym.vars)
+        result = self._empty
+        for i in range(1, self.system.dim):
+            enc = int(inv.m[i, 0])
+            if enc >= INF:
+                continue
+            value, strict = decode(enc)
+            if strict:
+                continue  # no last instant under a strict bound
+            face = sym.zone.constrained(
+                [(i, 0, (value << 1) | 1), (0, i, ((-value) << 1) | 1)]
+            )
+            if not face.is_empty():
+                result = result.union_zone(face)
+        return result
+
+    def _update(self, node: GraphNode) -> Federation:
+        """Recompute the winning federation of a node from its successors."""
+        sym = node.sym
+        goal = self.goal_fed(node)
+        g_act = self._empty
+        bad = self._empty
+        u_enabled = self._empty
+        for edge in node.out_edges:
+            target_win = self.win_fed(edge.target)
+            if edge.move.controllable:
+                if not target_win.is_empty():
+                    g_act = g_act.union(
+                        self.system.pred(sym, edge.move, target_win)
+                    )
+            else:
+                target_all = Federation.from_zone(edge.target.zone)
+                losing = target_all.subtract(target_win)
+                if not losing.is_empty():
+                    bad = bad.union(self.system.pred(sym, edge.move, losing))
+                u_enabled = u_enabled.union(
+                    self.system.pred(sym, edge.move, target_all)
+                )
+        forced = self._empty
+        if not u_enabled.is_empty():
+            forced = self._boundary(node).intersect(u_enabled).subtract(bad)
+        g_goal = goal.union(forced)
+        if self.system.can_delay(sym.locs):
+            win = predt_mixed(g_act, g_goal, bad).intersect_zone(sym.zone)
+        else:
+            win = g_act.union(g_goal).subtract(bad).union(goal)
+        return win.union(goal).compact()
+
+    def _record_growth(self, node: GraphNode, new_win: Federation) -> bool:
+        entry = self.wins.get(node.id)
+        old = self._empty if entry is None else entry.win
+        if old.includes(new_win):
+            return False
+        increment = new_win.subtract(old)
+        self._step += 1
+        if entry is None:
+            entry = NodeWin(new_win, self.goal_fed(node))
+            self.wins[node.id] = entry
+        else:
+            entry.win = new_win
+        entry.layers.append((self._step, increment))
+        return True
+
+    def _initial_winning(self) -> bool:
+        init = self.graph.initial
+        start = self.system.initial_concrete()
+        entry = self.wins.get(init.id)
+        return entry is not None and entry.win.contains(start.clocks)
+
+
+class TwoPhaseSolver(_BaseSolver):
+    """Explore everything, then run the backward fixpoint to convergence."""
+
+    def solve(self, *, early_stop: bool = False) -> GameResult:
+        """Run exploration + fixpoint; ``early_stop`` stops once the
+        initial state is winning (sound: winning sets only grow)."""
+        started = time.monotonic()
+        deadline = None if self.time_limit is None else started + self.time_limit
+        self.graph.explore_all()
+        queue: deque = deque()
+        queued: Dict[int, bool] = {}
+        for node in self.graph.nodes:
+            if not self.goal_fed(node).is_empty():
+                queue.append(node)
+                queued[node.id] = True
+        while queue:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationLimit("game solving timed out")
+            node = queue.popleft()
+            queued[node.id] = False
+            new_win = self._update(node)
+            if self._record_growth(node, new_win):
+                if early_stop and self._initial_winning():
+                    break
+                for edge in node.in_edges:
+                    source = edge.source
+                    if not queued.get(source.id):
+                        queue.append(source)
+                        queued[source.id] = True
+        return GameResult(
+            self._initial_winning(),
+            self.graph,
+            self.wins,
+            self.goal,
+            self._step,
+            self.graph.node_count,
+            time.monotonic() - started,
+        )
+
+
+class OnTheFlySolver(_BaseSolver):
+    """Interleave exploration with back-propagation (SOTFTG analogue).
+
+    Explores in waves: after each wave of newly expanded nodes, runs the
+    backward worklist restricted to the explored subgraph and checks
+    whether the initial state is already winning.  Sound because ``Win``
+    computed on a subgraph only under-approximates the full fixpoint
+    (unexplored successors contribute nothing to ``G_act`` and their
+    absence can only shrink ``Forced``; ``B`` edges, conservatively, are
+    expanded eagerly for every frontier node before propagation).
+    """
+
+    def solve(self, *, wave_size: int = 64) -> GameResult:
+        """Interleaved exploration/propagation; ``wave_size`` bounds how
+        many nodes are expanded between propagation rounds."""
+        started = time.monotonic()
+        deadline = None if self.time_limit is None else started + self.time_limit
+        graph = self.graph
+        frontier: deque = deque([graph.initial])
+        seen = {graph.initial.id}
+        queue: deque = deque()
+        queued: Dict[int, bool] = {}
+
+        def enqueue(node: GraphNode) -> None:
+            if not queued.get(node.id):
+                queue.append(node)
+                queued[node.id] = True
+
+        while frontier:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationLimit("game solving timed out")
+            wave: List[GraphNode] = []
+            while frontier and len(wave) < wave_size:
+                wave.append(frontier.popleft())
+            for node in wave:
+                for edge in graph.expand(node):
+                    if edge.target.id not in seen:
+                        seen.add(edge.target.id)
+                        frontier.append(edge.target)
+                # Always evaluate a freshly expanded node: it may have a
+                # goal of its own, or an already-winning successor.
+                enqueue(node)
+            # Uncontrollable successors must be expanded before a node can
+            # be judged (its B-term needs all its u-edges): expand frontier
+            # nodes reachable by one uncontrollable step.
+            while queue:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ExplorationLimit("game solving timed out")
+                node = queue.popleft()
+                queued[node.id] = False
+                if not self._fully_expanded_for_bad(node, seen, frontier):
+                    continue
+                new_win = self._update(node)
+                if self._record_growth(node, new_win):
+                    if self._initial_winning():
+                        return self._result(started, True)
+                    for edge in node.in_edges:
+                        enqueue(edge.source)
+        # Exhausted exploration: run the full fixpoint to convergence.
+        # Every node is seeded once; propagation handles the rest.
+        for node in graph.nodes:
+            enqueue(node)
+        while queue:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationLimit("game solving timed out")
+            node = queue.popleft()
+            queued[node.id] = False
+            new_win = self._update(node)
+            if self._record_growth(node, new_win):
+                if self._initial_winning():
+                    return self._result(started, True)
+                for edge in node.in_edges:
+                    enqueue(edge.source)
+        return self._result(started, self._initial_winning())
+
+    def _fully_expanded_for_bad(self, node, seen, frontier) -> bool:
+        """Ensure every successor of the node is already materialized."""
+        for edge in self.graph.expand(node):
+            if edge.target.id not in seen:
+                seen.add(edge.target.id)
+                frontier.append(edge.target)
+        return True
+
+    def _result(self, started: float, winning: bool) -> GameResult:
+        return GameResult(
+            winning,
+            self.graph,
+            self.wins,
+            self.goal,
+            self._step,
+            self.graph.node_count,
+            time.monotonic() - started,
+        )
+
+
+def solve_reachability_game(
+    system: System,
+    query: Query,
+    *,
+    on_the_fly: bool = True,
+    open_system: bool = False,
+    max_nodes: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> GameResult:
+    """Convenience front-end used by examples and benchmarks."""
+    cls = OnTheFlySolver if on_the_fly else TwoPhaseSolver
+    solver = cls(
+        system,
+        query,
+        open_system=open_system,
+        max_nodes=max_nodes,
+        time_limit=time_limit,
+    )
+    return solver.solve()

@@ -1,0 +1,9 @@
+"""Zone-graph exploration and plain reachability checking."""
+
+from .explorer import ExplorationLimit, GraphEdge, GraphNode, SimulationGraph
+from .reachability import (
+    ReachabilityResult,
+    check_invariant,
+    check_reachable,
+    find_deadlocks,
+)

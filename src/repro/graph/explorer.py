@@ -1,0 +1,172 @@
+"""Forward exploration of the simulation graph (zone graph).
+
+Nodes are symbolic states ``(discrete state, delay-closed zone)``; edges
+carry the :class:`~repro.semantics.system.Move` that produced them, so the
+game solver can replay them for both ``post`` and ``pred``.
+
+Inclusion subsumption: a freshly computed symbolic state whose zone is
+contained in an existing node's zone (same discrete state) is folded into
+that node.  With ExtraM extrapolation (diagonal-free models) the graph is
+finite; for models with diagonal guards extrapolation is disabled and
+termination relies on bounded clocks (checked by the caller via
+``max_nodes``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..dbm import DBM
+from ..semantics.state import DiscreteKey, SymbolicState
+from ..semantics.system import Move, System
+
+
+class ExplorationLimit(RuntimeError):
+    """Raised when exploration exceeds its node or time budget."""
+
+
+@dataclass
+class GraphEdge:
+    source: "GraphNode"
+    move: Move
+    target: "GraphNode"
+
+    def __repr__(self) -> str:
+        return f"GraphEdge({self.source.id} -{self.move.label}-> {self.target.id})"
+
+
+@dataclass
+class GraphNode:
+    id: int
+    sym: SymbolicState
+    out_edges: List[GraphEdge] = field(default_factory=list)
+    in_edges: List[GraphEdge] = field(default_factory=list)
+
+    @property
+    def key(self) -> DiscreteKey:
+        return self.sym.key
+
+    @property
+    def zone(self) -> DBM:
+        return self.sym.zone
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __repr__(self) -> str:
+        return f"GraphNode({self.id}, locs={self.sym.locs})"
+
+
+class SimulationGraph:
+    """The explored portion of a network's simulation graph."""
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        open_system: bool = False,
+        extrapolate: bool = True,
+        extra_max_consts: Optional[Sequence[int]] = None,
+        max_nodes: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ):
+        self.system = system
+        self.open_system = open_system
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+        self.nodes: List[GraphNode] = []
+        self._by_key: Dict[DiscreteKey, List[GraphNode]] = {}
+        self._expanded: Dict[int, bool] = {}
+        self._counter = itertools.count()
+        network = system.network
+        if extrapolate and not network.has_diagonal_constraints():
+            base = network.max_constants()
+            if extra_max_consts is not None:
+                base = [max(a, b) for a, b in zip(base, extra_max_consts)]
+            self.max_consts: Optional[List[int]] = base
+        else:
+            self.max_consts = None
+        self.initial = self._intern(system.initial_symbolic())
+
+    # ------------------------------------------------------------------
+    # Node interning
+    # ------------------------------------------------------------------
+
+    def _intern(self, sym: SymbolicState) -> GraphNode:
+        if self.max_consts is not None:
+            sym = SymbolicState(sym.locs, sym.vars, sym.zone.extrapolate(self.max_consts))
+        existing = self._by_key.get(sym.key, [])
+        for node in existing:
+            if node.zone.includes(sym.zone):
+                return node
+        node = GraphNode(next(self._counter), sym)
+        self.nodes.append(node)
+        self._by_key.setdefault(sym.key, []).append(node)
+        if self.max_nodes is not None and len(self.nodes) > self.max_nodes:
+            raise ExplorationLimit(
+                f"simulation graph exceeded {self.max_nodes} nodes"
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def moves_from(self, node: GraphNode) -> List[Move]:
+        """Enabled moves at a node (open or closed semantics)."""
+        sym = node.sym
+        if self.open_system:
+            return self.system.open_moves_from(sym.locs, sym.vars)
+        return self.system.moves_from(sym.locs, sym.vars)
+
+    def expand(self, node: GraphNode) -> List[GraphEdge]:
+        """Compute (once) and return the outgoing edges of a node."""
+        if self._expanded.get(node.id):
+            return node.out_edges
+        self._expanded[node.id] = True
+        for move in self.moves_from(node):
+            post = self.system.post(node.sym, move)
+            if post is None:
+                continue
+            post = self.system.delay_closure(post)
+            target = self._intern(post)
+            edge = GraphEdge(node, move, target)
+            node.out_edges.append(edge)
+            target.in_edges.append(edge)
+        return node.out_edges
+
+    def explore_all(
+        self, on_node: Optional[Callable[[GraphNode], None]] = None
+    ) -> "SimulationGraph":
+        """Breadth-first exhaustive exploration (respecting limits)."""
+        deadline = None if self.time_limit is None else time.monotonic() + self.time_limit
+        frontier = [self.initial]
+        seen = {self.initial.id}
+        while frontier:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationLimit("simulation graph exploration timed out")
+            next_frontier: List[GraphNode] = []
+            for node in frontier:
+                if on_node is not None:
+                    on_node(node)
+                for edge in self.expand(node):
+                    if edge.target.id not in seen:
+                        seen.add(edge.target.id)
+                        next_frontier.append(edge.target)
+            frontier = next_frontier
+        return self
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(n.out_edges) for n in self.nodes)

@@ -1,0 +1,6 @@
+"""Case-study models: Smart Light (Fig. 2/3), Leader Election (Table 1),
+and a train-gate safety game (extra)."""
+
+from .lep import TEST_PURPOSES, TP1, TP2, TP3, lep_network, lep_plant, lep_queries
+from .smartlight import smartlight_network, smartlight_plant
+from .traingate import crossing_purpose, exclusion_purpose, traingate_network

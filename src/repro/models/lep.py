@@ -1,0 +1,199 @@
+"""A parametric Leader Election Protocol (LEP) — the paper's Table 1 case.
+
+The paper describes (details deferred to its technical report) a
+distributed consensus protocol electing the node with the lowest address,
+modelled as:
+
+* one TIOGA for an arbitrary node (the plant / IUT), whose ``timeout!``
+  "can be produced at any point of a time frame after the node has been
+  waiting for a certain period of time without receiving any useful
+  messages";
+* two TAs for its chaotic environment: all the other nodes, and a message
+  buffer of capacity n; the maximum distance between nodes is n-1.
+
+This module rebuilds that structure parametrically in ``n``:
+
+* **IUT** (address n, the worst candidate): waits in ``idle``; receiving a
+  message with a *lower* address sets ``betterInfo`` and moves to
+  ``forward`` where the improved information is sent on within ``Tsend``;
+  without useful messages for ``Twait = max(2, n-1)`` time units it may
+  emit ``timeout!`` anywhere in a 2-time-unit frame (the uncontrollable
+  output with timing uncertainty) and then re-announce its current best.
+* **Env**: generates network traffic (``net_put``) at most once per time
+  unit — the chaotic other nodes.
+* **Buffer**: n slots with ``inUse[i]`` occupancy flags; stores traffic
+  and the IUT's own ``send!`` messages (dropping on overflow — a lossy
+  network); delivers a pending message to the IUT (``recv``) with an
+  arbitrary (chaotic) address after a minimal transit time.
+
+Message content is carried by the shared variable ``msgAddr`` (UPPAAL
+value-passing idiom); because receiver guards cannot see the emitter's
+assignment, the IUT processes messages in committed locations.
+
+Test purposes (paper §4, verbatim up to variable scoping syntax)::
+
+    TP1: control: A<> (IUT.betterInfo == 1) and IUT.forward
+    TP2: control: A<> forall (i : BufferId) (inUse[i] == 1)
+    TP3: control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ta.builder import NetworkBuilder
+from ..ta.model import Network
+
+TP1 = "control: A<> (IUT.betterInfo == 1) and IUT.forward"
+TP2 = "control: A<> forall (i : BufferId) (inUse[i] == 1)"
+TP3 = "control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle"
+
+TEST_PURPOSES = {"TP1": TP1, "TP2": TP2, "TP3": TP3}
+
+
+def _declare(net: NetworkBuilder, n: int, *, plant_only: bool = False) -> None:
+    twait = max(2, n - 1)
+    net.constant("N", n)
+    net.constant("Twait", twait)
+    net.constant("Tframe", 2)
+    net.constant("Tsend", 1)
+    net.constant("Tgen", 1)
+    net.constant("Tdel", 1)
+    net.range_type("BufferId", 0, n - 1)
+    net.range_type("NodeId", 1, n)
+    net.int_var("best", 0, n, init=n)
+    net.int_var("betterInfo", 0, 1, init=0)
+    net.int_var("msgAddr", 0, n, init=0)
+    net.int_array("inUse", n, 0, 1)
+    if plant_only:
+        # The IUT's own interface: one input, two outputs, one clock.
+        net.clock("w")
+        net.input_channel("recv")
+    else:
+        net.clock("w", "e", "b")
+        net.input_channel("recv", "net_put")
+    net.output_channel("send", "timeout")
+
+
+def _add_iut(net: NetworkBuilder) -> None:
+    iut = net.automaton("IUT")
+    iut.location("idle", invariant="w <= Twait + Tframe", initial=True)
+    iut.location("forward", invariant="w <= Tsend")
+    iut.location("announce", invariant="w <= Tsend")
+    iut.location("rcv", committed=True)
+    iut.location("rcvF", committed=True)
+    iut.location("rcvA", committed=True)
+
+    # Receiving (strong input-enabledness: every stable location).
+    iut.edge("idle", "rcv", sync="recv?")
+    iut.edge("forward", "rcvF", sync="recv?")
+    iut.edge("announce", "rcvA", sync="recv?")
+
+    # Processing: a lower address is "useful" and is forwarded; useless
+    # messages do NOT reset the timeout clock w.
+    iut.edge(
+        "rcv", "forward",
+        guard="msgAddr < best",
+        assign="best := msgAddr, betterInfo := 1, msgAddr := 0, w := 0",
+    )
+    iut.edge("rcv", "idle", guard="msgAddr >= best", assign="msgAddr := 0")
+    iut.edge(
+        "rcvF", "forward",
+        guard="msgAddr < best",
+        assign="best := msgAddr, betterInfo := 1, msgAddr := 0",
+    )
+    iut.edge("rcvF", "forward", guard="msgAddr >= best", assign="msgAddr := 0")
+    iut.edge(
+        "rcvA", "forward",
+        guard="msgAddr < best",
+        assign="best := msgAddr, betterInfo := 1, msgAddr := 0, w := 0",
+    )
+    iut.edge("rcvA", "announce", guard="msgAddr >= best", assign="msgAddr := 0")
+
+    # The uncontrollable timeout: anywhere in [Twait, Twait + Tframe].
+    iut.edge("idle", "announce", guard="w >= Twait", sync="timeout!", assign="w := 0")
+
+    # Sending (within Tsend, enforced by the invariants).
+    iut.edge("forward", "idle", sync="send!", assign="w := 0")
+    iut.edge("announce", "idle", sync="send!", assign="w := 0")
+
+
+def _add_environment(net: NetworkBuilder, n: int) -> None:
+    env = net.automaton("Env")
+    env.location("free", initial=True)
+    env.edge("free", "free", guard="e >= Tgen", sync="net_put!", assign="e := 0")
+
+
+def _first_fit(i: int) -> str:
+    if i == 0:
+        return "inUse[0] == 0"
+    return f"inUse[{i}] == 0 && forall (j : int[0, {i - 1}]) (inUse[j] == 1)"
+
+
+def _first_occupied(i: int) -> str:
+    if i == 0:
+        return "inUse[0] == 1"
+    return f"inUse[{i}] == 1 && forall (j : int[0, {i - 1}]) (inUse[j] == 0)"
+
+
+def _add_buffer(net: NetworkBuilder, n: int) -> None:
+    buf = net.automaton("Buffer")
+    buf.location("buf", initial=True)
+    for i in range(n):
+        # Store chaotic network traffic (first free slot).
+        buf.edge(
+            "buf", "buf",
+            guard=_first_fit(i),
+            sync="net_put?",
+            assign=f"inUse[{i}] := 1",
+        )
+        # Store the IUT's own messages.
+        buf.edge(
+            "buf", "buf",
+            guard=_first_fit(i),
+            sync="send?",
+            assign=f"inUse[{i}] := 1",
+        )
+        # Deliver a pending message with an arbitrary (chaotic) address.
+        for k in range(1, n + 1):
+            buf.edge(
+                "buf", "buf",
+                guard=f"{_first_occupied(i)} && b >= Tdel",
+                sync="recv!",
+                assign=f"inUse[{i}] := 0, msgAddr := {k}, b := 0",
+            )
+    # Lossy network: sends into a full buffer are dropped.
+    buf.edge(
+        "buf", "buf",
+        guard="forall (j : BufferId) (inUse[j] == 1)",
+        sync="send?",
+    )
+    # The environment observes (ignores) the IUT's timeout announcements.
+    buf.edge("buf", "buf", sync="timeout?")
+
+
+def lep_network(n: int) -> Network:
+    """The full game arena: IUT ∥ Env ∥ Buffer with ``n`` nodes."""
+    if n < 2:
+        raise ValueError("LEP needs at least 2 nodes")
+    net = NetworkBuilder(f"lep-{n}")
+    _declare(net, n)
+    _add_iut(net)
+    _add_environment(net, n)
+    _add_buffer(net, n)
+    return net.build()
+
+
+def lep_plant(n: int) -> Network:
+    """The IUT node alone (open system) for tioco monitoring / IMPs."""
+    if n < 2:
+        raise ValueError("LEP needs at least 2 nodes")
+    net = NetworkBuilder(f"lep-plant-{n}")
+    _declare(net, n, plant_only=True)
+    _add_iut(net)
+    return net.build()
+
+
+def lep_queries() -> List[str]:
+    """The paper's three test purposes, in order."""
+    return [TP1, TP2, TP3]

@@ -1,0 +1,111 @@
+"""The Smart Light running example (paper Fig. 2 and Fig. 3).
+
+The plant (Fig. 2) is a touch-controlled light with three stable
+brightness levels — ``Off``, ``Dim``, ``Bright`` — and six transient
+locations ``L1..L6`` in which the light has up to ``Tp <= 2`` time units
+to produce its output.  The user model (Fig. 3) touches the pad at most
+once per ``Treact`` time unit.
+
+The paper defers the full edge list to its technical report; this module
+reconstructs it from the paper's prose and figure labels:
+
+* from ``Off``, a touch after a long idle period (``x >= Tidle``) goes to
+  ``L5``, where the light *chooses* to go Bright, go Dim, or stay quiet
+  for up to 2 time units — the paper's example of uncontrollable outputs
+  with timing uncertainty;
+* from ``Off``, a quick touch (``x < Tidle``) goes to ``L1`` (pending
+  ``dim!``);
+* from ``Dim``, a quick second touch (``x < Tsw``) goes to ``L2`` (pending
+  ``bright!``), a slow touch (``x >= Tsw``) to ``L3`` (pending ``off!``);
+* from ``Bright``, a touch goes to ``L4`` (pending ``off!``);
+* transient locations accept further touches (strong input-enabledness):
+  touching while a ``dim``/reactivation decision is pending escalates to
+  the pending-``bright`` location ``L2`` via ``L6``.
+
+All intermediate locations carry the invariant ``Tp <= 2`` from the
+figure.  Clock ``x`` measures time since the last stable-state change;
+``Tp`` measures time spent in a transient location.
+"""
+
+from __future__ import annotations
+
+from ..ta.builder import NetworkBuilder
+from ..ta.model import Network
+
+#: Figure 2 constants.
+TIDLE = 20
+TSW = 4
+TPMAX = 2
+TREACT = 1
+
+
+def _add_plant(net: NetworkBuilder, with_env_guards: bool = True) -> None:
+    iut = net.automaton("IUT")
+    iut.location("Off", initial=True)
+    iut.location("Dim")
+    iut.location("Bright")
+    for name in ("L1", "L2", "L3", "L4", "L5", "L6"):
+        iut.location(name, invariant="Tp <= 2")
+
+    # Stable-state touches.
+    iut.edge("Off", "L1", guard="x < Tidle", sync="touch?", assign="x := 0, Tp := 0")
+    iut.edge("Off", "L5", guard="x >= Tidle", sync="touch?", assign="x := 0, Tp := 0")
+    iut.edge("Dim", "L2", guard="x < Tsw", sync="touch?", assign="x := 0, Tp := 0")
+    iut.edge("Dim", "L3", guard="x >= Tsw", sync="touch?", assign="x := 0, Tp := 0")
+    iut.edge("Bright", "L4", sync="touch?", assign="x := 0, Tp := 0")
+
+    # Pending outputs (uncontrollable, anywhere in the Tp window).
+    iut.edge("L1", "Dim", sync="dim!", assign="x := 0")
+    iut.edge("L5", "Dim", sync="dim!", assign="x := 0")
+    iut.edge("L5", "Bright", sync="bright!", assign="x := 0")
+    iut.edge("L2", "Bright", sync="bright!", assign="x := 0")
+    iut.edge("L3", "Off", sync="off!", assign="x := 0")
+    iut.edge("L4", "Off", sync="off!", assign="x := 0")
+    iut.edge("L6", "Bright", sync="bright!", assign="x := 0")
+
+    # Input-enabledness of the transient locations: a touch while a
+    # dim/reactivation decision is pending escalates to pending-bright.
+    iut.edge("L1", "L6", sync="touch?", assign="Tp := 0")
+    iut.edge("L5", "L6", sync="touch?", assign="Tp := 0")
+    iut.edge("L2", "L2", sync="touch?")
+    iut.edge("L6", "L6", sync="touch?")
+    # A touch while switching off re-lights the lamp (pending dim).
+    iut.edge("L3", "L1", sync="touch?", assign="Tp := 0")
+    iut.edge("L4", "L1", sync="touch?", assign="Tp := 0")
+
+
+def _declare(net: NetworkBuilder) -> None:
+    net.constant("Tidle", TIDLE)
+    net.constant("Tsw", TSW)
+    net.constant("Treact", TREACT)
+    net.clock("x", "Tp")
+    net.input_channel("touch")
+    net.output_channel("dim", "bright", "off")
+
+
+def smartlight_plant() -> Network:
+    """The plant TIOGA alone (open system, used by the tioco monitor)."""
+    net = NetworkBuilder("smartlight-plant")
+    _declare(net)
+    _add_plant(net)
+    return net.build()
+
+
+def smartlight_network() -> Network:
+    """Plant composed with the user TA of Fig. 3 (the game arena)."""
+    net = NetworkBuilder("smartlight")
+    _declare(net)
+    net.clock("z")
+    _add_plant(net)
+
+    user = net.automaton("User")
+    user.location("Init", initial=True)
+    user.location("Work")
+    # The user may touch at most once per Treact time unit.
+    user.edge("Init", "Work", guard="z >= Treact", sync="touch!", assign="z := 0")
+    user.edge("Work", "Work", guard="z >= Treact", sync="touch!", assign="z := 0")
+    # The user observes the light's responses (input-enabled for outputs).
+    for output in ("dim", "bright", "off"):
+        user.edge("Work", "Init", sync=f"{output}?", assign="z := 0")
+        user.edge("Init", "Init", sync=f"{output}?", assign="z := 0")
+    return net.build()

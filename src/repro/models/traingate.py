@@ -1,0 +1,101 @@
+"""A train-gate controller as a timed game (extra case study).
+
+The classic UPPAAL(-TIGA) bridge scenario, recast in this library's
+plant/controller split: ``n`` trains approach a single-track bridge;
+each train announces itself (``appr_i!``, uncontrollable), rolls onto the
+bridge within a time window unless stopped early enough (``stop_i?``),
+and leaves after a crossing time (``leave_i!``, uncontrollable timing).
+The controller (gate) decides when to stop and restart trains.
+
+This model complements the paper's two case studies with a *safety*
+objective — ``control: A[] !(Train0.Cross && Train1.Cross)`` — and a
+family of reachability purposes, and is used by the safety-game tests and
+the documentation examples.
+
+Timing (per train, clock ``x_i``):
+
+* ``Appr``: crosses on its own at ``x in [10, 20]``; can only be stopped
+  while ``x <= 10``;
+* ``Cross``: takes ``[3, 5]`` time units;
+* ``Start`` (after ``go_i?``): reaches the bridge at ``x in [7, 15]``.
+"""
+
+from __future__ import annotations
+
+from ..ta.builder import NetworkBuilder
+from ..ta.model import Network
+
+APPROACH_MIN = 10
+APPROACH_MAX = 20
+CROSS_MIN = 3
+CROSS_MAX = 5
+RESTART_MIN = 7
+RESTART_MAX = 15
+
+
+def _add_train(net: NetworkBuilder, i: int) -> None:
+    x = f"x{i}"
+    train = net.automaton(f"Train{i}")
+    train.location("Safe", initial=True)
+    train.location("Appr", invariant=f"{x} <= {APPROACH_MAX}")
+    train.location("Stop")
+    train.location("Start", invariant=f"{x} <= {RESTART_MAX}")
+    train.location("Cross", invariant=f"{x} <= {CROSS_MAX}")
+
+    train.edge("Safe", "Appr", sync=f"appr{i}!", assign=f"{x} := 0")
+    # Rolls onto the bridge on its own (uncontrollable internal move).
+    train.edge(
+        "Appr", "Cross", guard=f"{x} >= {APPROACH_MIN}",
+        assign=f"{x} := 0", controllable=False,
+    )
+    # Can be stopped only early in the approach.
+    train.edge("Appr", "Stop", guard=f"{x} <= {APPROACH_MIN}", sync=f"stop{i}?")
+    train.edge("Stop", "Start", sync=f"go{i}?", assign=f"{x} := 0")
+    train.edge(
+        "Start", "Cross", guard=f"{x} >= {RESTART_MIN}",
+        assign=f"{x} := 0", controllable=False,
+    )
+    train.edge(
+        "Cross", "Safe", guard=f"{x} >= {CROSS_MIN}", sync=f"leave{i}!",
+        assign=f"{x} := 0",
+    )
+    # Input-enabledness: irrelevant commands are ignored.
+    for loc in ("Safe", "Stop", "Start", "Cross"):
+        train.edge(loc, loc, sync=f"stop{i}?")
+    for loc in ("Safe", "Appr", "Start", "Cross"):
+        train.edge(loc, loc, sync=f"go{i}?")
+
+
+def traingate_network(n: int = 2) -> Network:
+    """``n`` trains plus a fully permissive gate (the controller)."""
+    if n < 1:
+        raise ValueError("need at least one train")
+    net = NetworkBuilder(f"traingate-{n}")
+    for i in range(n):
+        net.clock(f"x{i}")
+        net.input_channel(f"stop{i}", f"go{i}")
+        net.output_channel(f"appr{i}", f"leave{i}")
+    for i in range(n):
+        _add_train(net, i)
+    gate = net.automaton("Gate")
+    gate.location("g", initial=True)
+    for i in range(n):
+        gate.edge("g", "g", sync=f"appr{i}?")
+        gate.edge("g", "g", sync=f"leave{i}?")
+        gate.edge("g", "g", sync=f"stop{i}!")
+        gate.edge("g", "g", sync=f"go{i}!")
+    return net.build()
+
+
+def exclusion_purpose(n: int = 2) -> str:
+    """No two trains on the bridge — the safety objective."""
+    clauses = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            clauses.append(f"!(Train{i}.Cross && Train{j}.Cross)")
+    return "control: A[] " + " && ".join(clauses)
+
+
+def crossing_purpose(i: int = 0) -> str:
+    """Train ``i`` eventually crosses — a reachability purpose."""
+    return f"control: A<> Train{i}.Cross"

@@ -1,0 +1,4 @@
+"""Symbolic and concrete semantics of timed automaton networks."""
+
+from .state import ConcreteState, DiscreteKey, SymbolicState, zero_valuation
+from .system import DelayInterval, Move, System

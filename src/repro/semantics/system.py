@@ -1,0 +1,478 @@
+"""Executable semantics of a network: moves, posts, preds, invariants.
+
+This is the TIOTS of Definition 4, in two flavours:
+
+* **symbolic** — zones (DBMs) per discrete state, with ``post`` (discrete
+  successor), ``delay_closure`` (time successor within invariants) and
+  ``pred`` (discrete predecessor of a federation), the building blocks of
+  the zone-graph explorer and the game solver;
+* **concrete** — exact rational valuations with enabled-delay intervals,
+  used by the test executor and the simulated implementations.
+
+A **move** is a complete synchronization: either one internal edge or an
+emitter/receiver pair on a channel.  Controllability follows the paper's
+TIOGA convention: input channels are controllable, output channels are
+uncontrollable, internal edges carry an explicit flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dbm import DBM, Federation, decode, INF
+from ..expr.env import Declarations
+from ..expr.eval import Context, EvalError, apply_assignments
+from ..ta.model import Automaton, Edge, ModelError, Network
+from .state import ConcreteState, SymbolicState, zero_valuation
+
+
+@dataclass(frozen=True)
+class Move:
+    """One complete transition of the network (internal or a sync pair)."""
+
+    label: str  # channel name, or "tau"
+    direction: str  # 'input' | 'output' | 'internal'
+    controllable: bool
+    edges: Tuple[Tuple[int, Edge], ...]  # (automaton index, edge); emitter first
+
+    @property
+    def observable(self) -> bool:
+        return self.direction in ("input", "output")
+
+    def describe(self) -> str:
+        kind = {"input": "?", "output": "!", "internal": ""}[self.direction]
+        body = "; ".join(edge.describe() for _, edge in self.edges)
+        return f"{self.label}{kind} [{body}]"
+
+    def __repr__(self) -> str:
+        return f"Move({self.label}, {self.direction})"
+
+
+@dataclass(frozen=True)
+class DelayInterval:
+    """Delays ``d`` enabling a move: ``lo (<|<=) d (<|<=) hi`` (hi None = inf)."""
+
+    lo: Fraction
+    lo_strict: bool
+    hi: Optional[Fraction]
+    hi_strict: bool
+
+    def is_empty(self) -> bool:
+        if self.hi is None:
+            return False
+        if self.lo < self.hi:
+            return False
+        return self.lo > self.hi or self.lo_strict or self.hi_strict
+
+    def contains(self, d: Fraction) -> bool:
+        if d < self.lo or (d == self.lo and self.lo_strict):
+            return False
+        if self.hi is not None and (d > self.hi or (d == self.hi and self.hi_strict)):
+            return False
+        return True
+
+    def pick(self) -> Fraction:
+        """A representative delay (earliest if closed, else a midpoint)."""
+        if not self.lo_strict:
+            return self.lo
+        if self.hi is None:
+            return self.lo + 1
+        return (self.lo + self.hi) / 2
+
+
+class System:
+    """Semantic wrapper around a prepared :class:`Network`."""
+
+    def __init__(self, network: Network):
+        if not network._prepared:
+            network.prepare()
+        self.network = network
+        self.decls: Declarations = network.decls
+        self.dim = network.dim
+        self.automata: List[Automaton] = network.automata
+        self._proc_index: Dict[str, int] = {
+            a.name: i for i, a in enumerate(self.automata)
+        }
+        # Memoization of per-discrete-state computations: the solver asks
+        # for the same invariant zones, move lists, and guard constraints
+        # thousands of times during the backward fixpoint.
+        self._inv_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], DBM] = {}
+        self._moves_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], List["Move"]
+        ] = {}
+        self._guard_cache: Dict[Tuple[int, Tuple[int, ...]], list] = {}
+        # Per automaton: location index -> internal edges / sync edges.
+        self._internal: List[Dict[int, List[Edge]]] = []
+        self._emit: Dict[str, List[Tuple[int, Edge]]] = {}
+        self._recv: Dict[str, List[Tuple[int, Edge]]] = {}
+        for idx, automaton in enumerate(self.automata):
+            per_loc: Dict[int, List[Edge]] = {}
+            for edge in automaton.edges:
+                src = automaton.location_index(edge.source)
+                if edge.sync is None:
+                    per_loc.setdefault(src, []).append(edge)
+                else:
+                    channel, bang = edge.sync
+                    table = self._emit if bang == "!" else self._recv
+                    table.setdefault(channel, []).append((idx, edge))
+            self._internal.append(per_loc)
+
+    # ------------------------------------------------------------------
+    # Contexts and invariants
+    # ------------------------------------------------------------------
+
+    def ctx(self, vars: Tuple[int, ...]) -> Context:
+        return Context(self.decls, vars)
+
+    def query_ctx(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> Context:
+        """A context where dotted location tests (``IUT.Bright``) work."""
+
+        def location_test(proc: str, loc: str) -> bool:
+            a_idx = self._proc_index.get(proc)
+            if a_idx is None:
+                raise EvalError(f"unknown process {proc!r}")
+            automaton = self.automata[a_idx]
+            if loc not in automaton.locations:
+                raise EvalError(f"unknown location {proc}.{loc}")
+            return locs[a_idx] == automaton.location_index(loc)
+
+        return Context(self.decls, vars, location_test)
+
+    def invariant_int_ok(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> bool:
+        ctx = self.ctx(vars)
+        for a_idx, automaton in enumerate(self.automata):
+            loc = automaton.location_list[locs[a_idx]]
+            if not loc.inv_split.int_holds(ctx):
+                return False
+        return True
+
+    def invariant_zone(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> DBM:
+        key = (locs, vars)
+        cached = self._inv_cache.get(key)
+        if cached is not None:
+            return cached
+        ctx = self.ctx(vars)
+        zone = DBM.universal(self.dim)
+        for a_idx, automaton in enumerate(self.automata):
+            loc = automaton.location_list[locs[a_idx]]
+            constraints = loc.inv_split.clock_constraints(ctx)
+            if constraints:
+                zone = zone.constrained(constraints)
+        self._inv_cache[key] = zone
+        return zone
+
+    def can_delay(self, locs: Tuple[int, ...]) -> bool:
+        for a_idx, automaton in enumerate(self.automata):
+            loc = automaton.location_list[locs[a_idx]]
+            if loc.committed or loc.urgent:
+                return False
+        return True
+
+    def _has_committed(self, locs: Tuple[int, ...]) -> bool:
+        for a_idx, automaton in enumerate(self.automata):
+            if automaton.location_list[locs[a_idx]].committed:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Move enumeration
+    # ------------------------------------------------------------------
+
+    def moves_from(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> List[Move]:
+        """All moves whose *integer* guards hold (clock parts are zones)."""
+        key = (locs, vars)
+        cached = self._moves_cache.get(key)
+        if cached is not None:
+            return cached
+        ctx = self.ctx(vars)
+        committed = self._has_committed(locs)
+        moves: List[Move] = []
+
+        def committed_ok(indices: Iterable[int]) -> bool:
+            if not committed:
+                return True
+            for a_idx in indices:
+                automaton = self.automata[a_idx]
+                if automaton.location_list[locs[a_idx]].committed:
+                    return True
+            return False
+
+        for a_idx, per_loc in enumerate(self._internal):
+            for edge in per_loc.get(locs[a_idx], ()):
+                if not committed_ok((a_idx,)):
+                    continue
+                if edge.guard_split.int_holds(ctx):
+                    moves.append(
+                        Move("tau", "internal", edge.controllable, ((a_idx, edge),))
+                    )
+        for channel_name, channel in self.network.channels.items():
+            emitters = self._emit.get(channel_name, ())
+            receivers = self._recv.get(channel_name, ())
+            for i, e_send in emitters:
+                automaton = self.automata[i]
+                if automaton.location_index(e_send.source) != locs[i]:
+                    continue
+                if not e_send.guard_split.int_holds(ctx):
+                    continue
+                for j, e_recv in receivers:
+                    if i == j:
+                        continue
+                    recv_automaton = self.automata[j]
+                    if recv_automaton.location_index(e_recv.source) != locs[j]:
+                        continue
+                    if not committed_ok((i, j)):
+                        continue
+                    if not e_recv.guard_split.int_holds(ctx):
+                        continue
+                    direction = (
+                        "input"
+                        if channel.kind == "input"
+                        else "output"
+                        if channel.kind == "output"
+                        else "internal"
+                    )
+                    moves.append(
+                        Move(
+                            channel_name,
+                            direction,
+                            channel.controllable,
+                            ((i, e_send), (j, e_recv)),
+                        )
+                    )
+        self._moves_cache[key] = moves
+        return moves
+
+    def open_moves_from(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> List[Move]:
+        """Moves of an *open* system: sync edges fire alone.
+
+        Used when a network models a single component (the plant spec for
+        the tioco monitor, or a simulated implementation) whose partners
+        live outside the model: an edge ``c?`` on an input channel is an
+        input move, ``c!`` on an output channel is an output move.
+        """
+        ctx = self.ctx(vars)
+        committed = self._has_committed(locs)
+        moves: List[Move] = []
+        for a_idx, automaton in enumerate(self.automata):
+            src_loc = automaton.location_list[locs[a_idx]]
+            for edge in automaton.edges:
+                if automaton.location_index(edge.source) != locs[a_idx]:
+                    continue
+                if committed and not src_loc.committed:
+                    continue
+                if not edge.guard_split.int_holds(ctx):
+                    continue
+                if edge.sync is None:
+                    moves.append(
+                        Move("tau", "internal", edge.controllable, ((a_idx, edge),))
+                    )
+                    continue
+                channel = self.network.channels.get(edge.sync[0])
+                if channel is None:
+                    raise ModelError(f"undeclared channel on {edge.describe()}")
+                direction = (
+                    "input"
+                    if channel.kind == "input"
+                    else "output"
+                    if channel.kind == "output"
+                    else "internal"
+                )
+                moves.append(
+                    Move(channel.name, direction, channel.controllable, ((a_idx, edge),))
+                )
+        return moves
+
+    # ------------------------------------------------------------------
+    # Discrete transition pieces
+    # ------------------------------------------------------------------
+
+    def target_locs(self, locs: Tuple[int, ...], move: Move) -> Tuple[int, ...]:
+        out = list(locs)
+        for a_idx, edge in move.edges:
+            out[a_idx] = self.automata[a_idx].location_index(edge.target)
+        return tuple(out)
+
+    def apply_move_vars(
+        self, vars: Tuple[int, ...], move: Move
+    ) -> Optional[Tuple[int, ...]]:
+        """Variable update of a move (emitter first); None on range error."""
+        state = vars
+        for a_idx, edge in move.edges:
+            if edge.int_assigns:
+                try:
+                    state = apply_assignments(edge.int_assigns, self.ctx(state))
+                except (OverflowError, EvalError):
+                    return None
+        return state
+
+    def guard_constraints(self, move: Move, vars: Tuple[int, ...]):
+        """Encoded clock constraints of a move's guards (memoized)."""
+        key = (tuple(edge.index for _, edge in move.edges), vars)
+        cached = self._guard_cache.get(key)
+        if cached is not None:
+            return cached
+        ctx = self.ctx(vars)
+        constraints = []
+        for _, edge in move.edges:
+            constraints.extend(edge.guard_split.clock_constraints(ctx))
+        self._guard_cache[key] = constraints
+        return constraints
+
+    def resets_of(self, move: Move) -> Tuple[Tuple[int, int], ...]:
+        """Clock assignments of a move, emitter first (later wins)."""
+        merged: Dict[int, int] = {}
+        for _, edge in move.edges:
+            for clock, value in edge.clock_resets:
+                merged[clock] = value
+        return tuple(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    # Symbolic semantics
+    # ------------------------------------------------------------------
+
+    def initial_symbolic(self) -> SymbolicState:
+        locs = self.network.initial_locations()
+        vars = self.decls.initial_state()
+        if not self.invariant_int_ok(locs, vars):
+            raise ModelError("initial state violates an integer invariant")
+        zone = DBM.zero(self.dim)
+        inv = self.invariant_zone(locs, vars)
+        zone = zone.intersect(inv)
+        if zone.is_empty():
+            raise ModelError("initial state violates a clock invariant")
+        return self.delay_closure(SymbolicState(locs, vars, zone))
+
+    def delay_closure(self, sym: SymbolicState) -> SymbolicState:
+        if not self.can_delay(sym.locs):
+            return sym
+        zone = sym.zone.up().intersect(self.invariant_zone(sym.locs, sym.vars))
+        return SymbolicState(sym.locs, sym.vars, zone)
+
+    def post(self, sym: SymbolicState, move: Move) -> Optional[SymbolicState]:
+        """Discrete successor (no delay closure); None if disabled/empty."""
+        new_vars = self.apply_move_vars(sym.vars, move)
+        if new_vars is None:
+            return None
+        new_locs = self.target_locs(sym.locs, move)
+        if not self.invariant_int_ok(new_locs, new_vars):
+            return None
+        zone = sym.zone.constrained(self.guard_constraints(move, sym.vars))
+        if zone.is_empty():
+            return None
+        zone = zone.assign_clocks(self.resets_of(move))
+        zone = zone.intersect(self.invariant_zone(new_locs, new_vars))
+        if zone.is_empty():
+            return None
+        return SymbolicState(new_locs, new_vars, zone)
+
+    def pred(
+        self,
+        source: SymbolicState,
+        move: Move,
+        target_fed: Federation,
+    ) -> Federation:
+        """States of ``source`` whose ``move``-successor lies in ``target_fed``."""
+        if target_fed.is_empty():
+            return Federation.empty(self.dim)
+        fed = target_fed.assign_pred(self.resets_of(move))
+        fed = fed.constrained(self.guard_constraints(move, source.vars))
+        return fed.intersect_zone(source.zone)
+
+    # ------------------------------------------------------------------
+    # Concrete semantics
+    # ------------------------------------------------------------------
+
+    def initial_concrete(self) -> ConcreteState:
+        locs = self.network.initial_locations()
+        vars = self.decls.initial_state()
+        return ConcreteState(locs, vars, zero_valuation(self.dim))
+
+    def max_delay(
+        self, state: ConcreteState
+    ) -> Tuple[Optional[Fraction], bool]:
+        """Largest delay allowed by invariants: (bound, strict); None = inf."""
+        if not self.can_delay(state.locs):
+            return Fraction(0), False
+        zone = self.invariant_zone(state.locs, state.vars)
+        hi: Optional[Fraction] = None
+        hi_strict = False
+        for i in range(1, self.dim):
+            enc = int(zone.m[i, 0])
+            if enc >= INF:
+                continue
+            value, strict = decode(enc)
+            slack = Fraction(value) - state.clocks[i]
+            if hi is None or slack < hi or (slack == hi and strict):
+                hi, hi_strict = slack, strict
+        return hi, hi_strict
+
+    def enabled_interval(
+        self, state: ConcreteState, move: Move
+    ) -> Optional[DelayInterval]:
+        """Delays after which ``move`` is enabled (guards + invariants).
+
+        Integer guards were already checked by :meth:`moves_from`.  Returns
+        None when no delay enables the move.
+        """
+        lo = Fraction(0)
+        lo_strict = False
+        hi, hi_strict = self.max_delay(state)
+        for i, j, enc in self.guard_constraints(move, state.vars):
+            if enc >= INF:
+                continue
+            value, strict = decode(enc)
+            vi = state.clocks[i] if i else Fraction(0)
+            vj = state.clocks[j] if j else Fraction(0)
+            if i != 0 and j != 0:
+                diff = vi - vj
+                if diff > value or (diff == value and strict):
+                    return None
+                continue
+            if j == 0:
+                # (v_i + d) ≺ value  ->  d ≺ value - v_i
+                slack = Fraction(value) - vi
+                if hi is None or slack < hi or (slack == hi and strict and not hi_strict):
+                    hi, hi_strict = slack, strict
+            else:
+                # -(v_j + d) ≺ value  ->  d ≻ -value - v_j
+                need = -Fraction(value) - vj
+                if need > lo or (need == lo and strict and not lo_strict):
+                    lo, lo_strict = need, strict
+        interval = DelayInterval(lo, lo_strict, hi, hi_strict)
+        if interval.is_empty():
+            return None
+        return interval
+
+    def fire(self, state: ConcreteState, move: Move) -> Optional[ConcreteState]:
+        """Fire a move from a concrete state (delay 0); None if disabled."""
+        interval = self.enabled_interval(state, move)
+        if interval is None or not interval.contains(Fraction(0)):
+            return None
+        new_vars = self.apply_move_vars(state.vars, move)
+        if new_vars is None:
+            return None
+        new_locs = self.target_locs(state.locs, move)
+        if not self.invariant_int_ok(new_locs, new_vars):
+            return None
+        clocks = list(state.clocks)
+        for clock, value in self.resets_of(move):
+            clocks[clock] = Fraction(value)
+        new_state = ConcreteState(new_locs, new_vars, tuple(clocks))
+        inv = self.invariant_zone(new_locs, new_vars)
+        if not new_state.in_zone(inv):
+            return None
+        return new_state
+
+    def delay_ok(self, state: ConcreteState, d: Fraction) -> bool:
+        hi, hi_strict = self.max_delay(state)
+        if d == 0:
+            return True
+        if hi is None:
+            return True
+        return d < hi or (d == hi and not hi_strict)

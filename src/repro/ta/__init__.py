@@ -1,0 +1,14 @@
+"""Timed (I/O game) automaton models, builders, and validation."""
+
+from .builder import AutomatonBuilder, NetworkBuilder
+from .model import (
+    INPUT,
+    INTERNAL,
+    OUTPUT,
+    Automaton,
+    Channel,
+    Edge,
+    Location,
+    ModelError,
+    Network,
+)

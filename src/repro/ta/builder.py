@@ -1,0 +1,165 @@
+"""Fluent builders for networks of timed I/O game automata.
+
+Example::
+
+    net = NetworkBuilder("smartlight")
+    net.constant("Tidle", 20)
+    net.clock("x")
+    net.input_channel("touch")
+    net.output_channel("bright")
+
+    iut = net.automaton("IUT")
+    iut.location("Off", initial=True)
+    iut.location("L5", invariant="Tp <= 2")
+    iut.edge("Off", "L5", guard="x >= Tidle", sync="touch?", assign="x := 0")
+
+    network = net.build()
+
+Guard / invariant / assignment strings use the expression language of
+:mod:`repro.expr`; ``sync`` strings are ``"chan!"`` or ``"chan?"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..expr.env import Declarations
+from ..expr.parser import parse_assignments, parse_expression
+from .model import INPUT, INTERNAL, OUTPUT, Automaton, Edge, ModelError, Network
+
+
+def _parse_sync(sync: Optional[str]) -> Optional[Tuple[str, str]]:
+    if sync is None:
+        return None
+    sync = sync.strip()
+    if not sync or sync[-1] not in "!?":
+        raise ModelError(f"sync must end in '!' or '?': {sync!r}")
+    return sync[:-1], sync[-1]
+
+
+class AutomatonBuilder:
+    """Builder for one automaton inside a :class:`NetworkBuilder`."""
+
+    def __init__(self, network: "NetworkBuilder", name: str):
+        self._network = network
+        self._automaton = Automaton(name)
+
+    @property
+    def name(self) -> str:
+        return self._automaton.name
+
+    def location(
+        self,
+        name: str,
+        invariant: Optional[str] = None,
+        *,
+        initial: bool = False,
+        committed: bool = False,
+        urgent: bool = False,
+    ) -> "AutomatonBuilder":
+        inv_expr = parse_expression(invariant) if invariant else None
+        self._automaton.add_location(
+            name, inv_expr, initial=initial, committed=committed, urgent=urgent
+        )
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        *,
+        guard: Optional[str] = None,
+        sync: Optional[str] = None,
+        assign: Optional[str] = None,
+        controllable: bool = False,
+    ) -> "AutomatonBuilder":
+        guard_expr = parse_expression(guard) if guard else None
+        assigns = tuple(parse_assignments(assign)) if assign else ()
+        self._automaton.add_edge(
+            Edge(
+                automaton=self._automaton.name,
+                source=source,
+                target=target,
+                guard=guard_expr,
+                sync=_parse_sync(sync),
+                assigns=assigns,
+                controllable=controllable,
+            )
+        )
+        return self
+
+
+class NetworkBuilder:
+    """Builder for a whole network (declarations + channels + automata)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.decls = Declarations()
+        self._channels: List[Tuple[str, str]] = []
+        self._automata: List[AutomatonBuilder] = []
+
+    # Declarations -----------------------------------------------------
+
+    def constant(self, name: str, value: int) -> "NetworkBuilder":
+        self.decls.add_constant(name, value)
+        return self
+
+    def clock(self, *names: str) -> "NetworkBuilder":
+        for name in names:
+            self.decls.add_clock(name)
+        return self
+
+    def int_var(
+        self, name: str, low: int = -(1 << 15), high: int = 1 << 15, init: int = 0
+    ) -> "NetworkBuilder":
+        self.decls.add_int(name, low, high, init)
+        return self
+
+    def int_array(
+        self,
+        name: str,
+        size: int,
+        low: int = -(1 << 15),
+        high: int = 1 << 15,
+        init: Optional[Sequence[int]] = None,
+    ) -> "NetworkBuilder":
+        self.decls.add_array(name, size, low, high, init)
+        return self
+
+    def range_type(self, name: str, low: int, high: int) -> "NetworkBuilder":
+        self.decls.add_range_type(name, low, high)
+        return self
+
+    # Channels ----------------------------------------------------------
+
+    def input_channel(self, *names: str) -> "NetworkBuilder":
+        for name in names:
+            self._channels.append((name, INPUT))
+        return self
+
+    def output_channel(self, *names: str) -> "NetworkBuilder":
+        for name in names:
+            self._channels.append((name, OUTPUT))
+        return self
+
+    def internal_channel(self, *names: str) -> "NetworkBuilder":
+        for name in names:
+            self._channels.append((name, INTERNAL))
+        return self
+
+    # Automata ----------------------------------------------------------
+
+    def automaton(self, name: str) -> AutomatonBuilder:
+        builder = AutomatonBuilder(self, name)
+        self._automata.append(builder)
+        return builder
+
+    # Build ---------------------------------------------------------------
+
+    def build(self) -> Network:
+        network = Network(self.name, self.decls)
+        for name, kind in self._channels:
+            network.add_channel(name, kind)
+        for builder in self._automata:
+            network.add_automaton(builder._automaton)
+        return network.prepare()

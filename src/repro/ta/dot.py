@@ -1,0 +1,123 @@
+"""Graphviz (DOT) export of automata, networks, and winning strategies.
+
+Purely textual (no graphviz dependency): render with ``dot -Tpdf``.
+Conventions follow the paper's figures — solid edges for controllable
+actions (inputs), dashed edges for uncontrollable ones (outputs and
+plant-internal moves), double circles for initial locations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .model import Automaton, Network
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _edge_label(edge) -> str:
+    parts = []
+    if edge.guard is not None:
+        parts.append(str(edge.guard))
+    if edge.sync is not None:
+        parts.append(f"{edge.sync[0]}{edge.sync[1]}")
+    if edge.assigns:
+        parts.append(", ".join(str(a) for a in edge.assigns))
+    return "\\n".join(_escape(p) for p in parts)
+
+
+def automaton_to_dot(
+    automaton: Automaton,
+    network: Optional[Network] = None,
+    *,
+    name: Optional[str] = None,
+    subgraph: bool = False,
+) -> str:
+    """DOT source for one automaton (optionally as a cluster subgraph)."""
+    title = name or automaton.name
+    prefix = f"{automaton.name}_"
+    lines: List[str] = []
+    if subgraph:
+        lines.append(f'subgraph "cluster_{_escape(title)}" {{')
+        lines.append(f'label="{_escape(title)}";')
+    else:
+        lines.append(f'digraph "{_escape(title)}" {{')
+        lines.append("rankdir=LR;")
+    for loc in automaton.location_list:
+        attrs = []
+        label = loc.name
+        if loc.invariant is not None:
+            label += f"\\n{_escape(str(loc.invariant))}"
+        attrs.append(f'label="{label}"')
+        if loc.name == automaton.initial:
+            attrs.append("shape=doublecircle")
+        else:
+            attrs.append("shape=circle")
+        if loc.committed:
+            attrs.append('style=filled fillcolor="#ffdddd"')
+        elif loc.urgent:
+            attrs.append('style=filled fillcolor="#ddddff"')
+        lines.append(f'"{prefix}{loc.name}" [{" ".join(attrs)}];')
+    for edge in automaton.edges:
+        style = "solid"
+        if network is not None:
+            controllable = edge.controllable
+            if edge.sync is not None:
+                channel = network.channels.get(edge.sync[0])
+                if channel is not None:
+                    controllable = channel.controllable
+            style = "solid" if controllable else "dashed"
+        label = _edge_label(edge)
+        lines.append(
+            f'"{prefix}{edge.source}" -> "{prefix}{edge.target}"'
+            f' [label="{label}" style={style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network: Network) -> str:
+    """DOT source with one cluster per automaton, paper-figure style."""
+    lines = [f'digraph "{_escape(network.name)}" {{', "rankdir=LR;", "compound=true;"]
+    for automaton in network.automata:
+        lines.append(automaton_to_dot(automaton, network, subgraph=True))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def strategy_to_dot(strategy) -> str:
+    """DOT source of a winning strategy's decision graph.
+
+    Nodes are the strategy's symbolic states (location vectors); solid
+    edges are the strategy's controllable decisions, dashed edges the
+    plant moves the strategy is prepared to observe.
+    """
+    result = strategy.result
+    network = strategy.system.network
+    lines = ['digraph "strategy" {', "rankdir=LR;"]
+    for node_id, ns in strategy.per_node.items():
+        node = ns.node
+        if node is None:
+            continue
+        locs = " ".join(network.location_names(node.sym.locs))
+        goal_mark = " (goal)" if not ns.goal.is_empty() else ""
+        lines.append(
+            f'"n{node.id}" [label="{_escape(locs)}{goal_mark}"'
+            f' shape={"doubleoctagon" if goal_mark else "box"}];'
+        )
+    for node_id, ns in strategy.per_node.items():
+        node = ns.node
+        if node is None:
+            continue
+        for edge in node.out_edges:
+            if edge.target.id not in strategy.per_node:
+                continue
+            style = "solid" if edge.move.controllable else "dashed"
+            lines.append(
+                f'"n{node.id}" -> "n{edge.target.id}"'
+                f' [label="{_escape(edge.move.label)}" style={style}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

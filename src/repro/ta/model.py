@@ -1,0 +1,293 @@
+"""Timed (I/O game) automata and networks.
+
+The model layer follows the paper's Definitions 1-3:
+
+* a **TA** is locations + clocks + guarded edges + invariants;
+* a **TGA** partitions actions into controllable and uncontrollable ones;
+* a **TIOGA** is a TGA where inputs are exactly the controllable actions
+  and outputs exactly the uncontrollable ones.
+
+Here the partition is carried by *channels*: an ``input`` channel is
+controllable (the tester offers it), an ``output`` channel is
+uncontrollable (the plant decides).  Edges without a channel are internal
+(``tau``) moves whose controllability is set explicitly (default:
+uncontrollable, the conservative choice for a plant model).
+
+A :class:`Network` is a set of automata communicating by binary channel
+synchronization over shared declarations, exactly like an UPPAAL system.
+Networks are *prepared* once (guards split, invariants checked, constants
+collected) and treated as immutable afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..expr.ast import Assignment, Expr, IntLiteral, Name
+from ..expr.clocksplit import (
+    TRUE_GUARD,
+    ClockAtom,
+    SplitGuard,
+    split_guard,
+    update_max_constants,
+)
+from ..expr.env import Declarations
+
+
+class ModelError(ValueError):
+    """Raised on structurally invalid models."""
+
+
+INPUT = "input"
+OUTPUT = "output"
+INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A synchronization channel.
+
+    ``kind`` is ``input`` (controllable, offered by the tester/controller),
+    ``output`` (uncontrollable, produced by the plant), or ``internal``
+    (hidden; controllability per edge).
+    """
+
+    name: str
+    kind: str
+
+    @property
+    def controllable(self) -> bool:
+        return self.kind == INPUT
+
+
+@dataclass
+class Location:
+    name: str
+    index: int
+    invariant: Optional[Expr] = None
+    committed: bool = False
+    urgent: bool = False
+    # Filled by Network.prepare():
+    inv_split: SplitGuard = TRUE_GUARD
+
+    def __repr__(self) -> str:
+        return f"Location({self.name})"
+
+
+@dataclass
+class Edge:
+    """One edge of one automaton.
+
+    ``sync`` is ``(channel_name, '!'|'?')`` or None for internal edges.
+    ``controllable`` is only meaningful for internal edges; synchronizing
+    edges inherit controllability from the channel.
+    """
+
+    automaton: str
+    source: str
+    target: str
+    guard: Optional[Expr] = None
+    sync: Optional[Tuple[str, str]] = None
+    assigns: Tuple[Assignment, ...] = ()
+    controllable: bool = False
+    # Filled by Network.prepare():
+    guard_split: SplitGuard = TRUE_GUARD
+    clock_resets: Tuple[Tuple[int, int], ...] = ()  # (clock index, value)
+    int_assigns: Tuple[Assignment, ...] = ()
+    index: int = -1
+
+    def describe(self) -> str:
+        parts = [f"{self.automaton}.{self.source} -> {self.automaton}.{self.target}"]
+        if self.guard is not None:
+            parts.append(f"[{self.guard}]")
+        if self.sync is not None:
+            parts.append(f"{self.sync[0]}{self.sync[1]}")
+        if self.assigns:
+            parts.append("{" + ", ".join(str(a) for a in self.assigns) + "}")
+        return " ".join(parts)
+
+
+class Automaton:
+    """One timed automaton of a network."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.locations: Dict[str, Location] = {}
+        self.location_list: List[Location] = []
+        self.initial: Optional[str] = None
+        self.edges: List[Edge] = []
+
+    def add_location(
+        self,
+        name: str,
+        invariant: Optional[Expr] = None,
+        *,
+        initial: bool = False,
+        committed: bool = False,
+        urgent: bool = False,
+    ) -> Location:
+        if name in self.locations:
+            raise ModelError(f"duplicate location {self.name}.{name}")
+        loc = Location(name, len(self.location_list), invariant, committed, urgent)
+        self.locations[name] = loc
+        self.location_list.append(loc)
+        if initial:
+            if self.initial is not None:
+                raise ModelError(f"automaton {self.name} has two initial locations")
+            self.initial = name
+        return loc
+
+    def add_edge(self, edge: Edge) -> Edge:
+        for endpoint in (edge.source, edge.target):
+            if endpoint not in self.locations:
+                raise ModelError(f"unknown location {self.name}.{endpoint}")
+        self.edges.append(edge)
+        return edge
+
+    def location_index(self, name: str) -> int:
+        return self.locations[name].index
+
+    def out_edges(self, location: str) -> List[Edge]:
+        return [e for e in self.edges if e.source == location]
+
+
+class Network:
+    """A closed network of automata over shared declarations."""
+
+    def __init__(self, name: str, decls: Declarations):
+        self.name = name
+        self.decls = decls
+        self.channels: Dict[str, Channel] = {}
+        self.automata: List[Automaton] = []
+        self._by_name: Dict[str, Automaton] = {}
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_channel(self, name: str, kind: str) -> Channel:
+        if name in self.channels:
+            raise ModelError(f"duplicate channel {name}")
+        if kind not in (INPUT, OUTPUT, INTERNAL):
+            raise ModelError(f"bad channel kind {kind!r}")
+        channel = Channel(name, kind)
+        self.channels[name] = channel
+        return channel
+
+    def add_automaton(self, automaton: Automaton) -> Automaton:
+        if automaton.name in self._by_name:
+            raise ModelError(f"duplicate automaton {automaton.name}")
+        self.automata.append(automaton)
+        self._by_name[automaton.name] = automaton
+        return automaton
+
+    def automaton(self, name: str) -> Automaton:
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> "Network":
+        """Split guards, classify assignments, and validate structure."""
+        if self._prepared:
+            return self
+        decls = self.decls
+        edge_counter = 0
+        for automaton in self.automata:
+            if automaton.initial is None:
+                raise ModelError(f"automaton {automaton.name} has no initial location")
+            for loc in automaton.location_list:
+                loc.inv_split = split_guard(loc.invariant, decls)
+                self._check_invariant(automaton, loc)
+            for edge in automaton.edges:
+                edge.guard_split = split_guard(edge.guard, decls)
+                edge.clock_resets, edge.int_assigns = self._split_assigns(edge)
+                if edge.sync is not None:
+                    channel = self.channels.get(edge.sync[0])
+                    if channel is None:
+                        raise ModelError(
+                            f"edge {edge.describe()} uses undeclared channel"
+                        )
+                    edge.controllable = channel.controllable
+                edge.index = edge_counter
+                edge_counter += 1
+        self._prepared = True
+        return self
+
+    def _check_invariant(self, automaton: Automaton, loc: Location) -> None:
+        for atom in loc.inv_split.clock_atoms:
+            if not atom.is_upper_bound:
+                raise ModelError(
+                    f"invariant of {automaton.name}.{loc.name} must be a"
+                    f" conjunction of clock upper bounds (x < E or x <= E)"
+                )
+
+    def _split_assigns(
+        self, edge: Edge
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Assignment, ...]]:
+        resets: List[Tuple[int, int]] = []
+        ints: List[Assignment] = []
+        for assign in edge.assigns:
+            target = assign.target
+            if isinstance(target, Name):
+                clock = self.decls.clock_index(target.ident)
+                if clock is not None:
+                    if not isinstance(assign.value, IntLiteral) or assign.value.value < 0:
+                        raise ModelError(
+                            f"clock assignment must be a non-negative constant:"
+                            f" {assign} on {edge.describe()}"
+                        )
+                    resets.append((clock, assign.value.value))
+                    continue
+            ints.append(assign)
+        return tuple(resets), tuple(ints)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return self.decls.dbm_dim
+
+    def clock_names(self) -> List[str]:
+        return ["0"] + list(self.decls.clocks)
+
+    def initial_locations(self) -> Tuple[int, ...]:
+        return tuple(a.location_index(a.initial) for a in self.automata)
+
+    def location_names(self, locs: Sequence[int]) -> List[str]:
+        return [
+            f"{a.name}.{a.location_list[locs[k]].name}"
+            for k, a in enumerate(self.automata)
+        ]
+
+    def max_constants(self, extra_atoms: Sequence[ClockAtom] = ()) -> List[int]:
+        """Per-clock maximum constants (ExtraM input), covering every guard,
+        invariant, and any extra atoms (e.g. from the test purpose)."""
+        max_consts = [0] * self.dim
+        for automaton in self.automata:
+            for loc in automaton.location_list:
+                update_max_constants(loc.inv_split.clock_atoms, self.decls, max_consts)
+            for edge in automaton.edges:
+                update_max_constants(edge.guard_split.clock_atoms, self.decls, max_consts)
+        update_max_constants(tuple(extra_atoms), self.decls, max_consts)
+        return max_consts
+
+    def has_diagonal_constraints(self) -> bool:
+        for automaton in self.automata:
+            for loc in automaton.location_list:
+                if any(a.is_diagonal for a in loc.inv_split.clock_atoms):
+                    return True
+            for edge in automaton.edges:
+                if any(a.is_diagonal for a in edge.guard_split.clock_atoms):
+                    return True
+        return False
+
+    def channel_names(self, kind: Optional[str] = None) -> List[str]:
+        return [
+            c.name for c in self.channels.values() if kind is None or c.kind == kind
+        ]

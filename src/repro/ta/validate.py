@@ -1,0 +1,150 @@
+"""Model validation: the paper's §2.2 restrictions on plant models.
+
+The test method requires the plant TIOGA to be
+
+* **deterministic** — no two simultaneously enabled edges with the same
+  action lead to different states, and
+* **strongly input-enabled** — every input action is accepted in every
+  reachable state.
+
+Both are semantic properties; we check them over the explored simulation
+graph (exact up to the exploration bound).  The checks are used by the
+test suite and available to library users as pre-flight diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dbm import Federation
+from ..graph.explorer import SimulationGraph
+from ..semantics.system import System
+
+
+@dataclass
+class ValidationIssue:
+    kind: str  # 'nondeterminism' | 'input-refusal' | 'invariant-shape'
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    issues: List[ValidationIssue] = field(default_factory=list)
+    nodes_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, kind: str, message: str) -> None:
+        self.issues.append(ValidationIssue(kind, message))
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"valid ({self.nodes_checked} symbolic states checked)"
+        return "\n".join(str(i) for i in self.issues)
+
+
+def check_determinism(
+    system: System,
+    *,
+    open_system: bool = True,
+    max_nodes: Optional[int] = 20_000,
+) -> ValidationReport:
+    """Check that same-label moves never overlap with different effects."""
+    report = ValidationReport()
+    graph = SimulationGraph(system, open_system=open_system, max_nodes=max_nodes)
+    graph.explore_all()
+    report.nodes_checked = graph.node_count
+    for node in graph.nodes:
+        by_label: dict = {}
+        for edge in node.out_edges:
+            if edge.move.direction == "internal":
+                continue
+            by_label.setdefault(edge.move.label, []).append(edge)
+        for label, edges in by_label.items():
+            if len(edges) < 2:
+                continue
+            for a in range(len(edges)):
+                for b in range(a + 1, len(edges)):
+                    e1, e2 = edges[a], edges[b]
+                    if e1.target.id == e2.target.id:
+                        # Same symbolic successor: check the guard zones
+                        # produce identical posts where they overlap.
+                        pass
+                    z1 = node.zone.constrained(
+                        system.guard_constraints(e1.move, node.sym.vars)
+                    )
+                    z2 = node.zone.constrained(
+                        system.guard_constraints(e2.move, node.sym.vars)
+                    )
+                    overlap = z1.intersect(z2)
+                    if overlap.is_empty():
+                        continue
+                    s1 = system.post(node.sym, e1.move)
+                    s2 = system.post(node.sym, e2.move)
+                    if s1 is None or s2 is None:
+                        continue
+                    if (
+                        s1.key != s2.key
+                        or system.resets_of(e1.move) != system.resets_of(e2.move)
+                    ):
+                        report.add(
+                            "nondeterminism",
+                            f"action {label} has overlapping enabled edges with"
+                            f" different effects at {node.sym.locs}"
+                            f" (guards overlap on {overlap.to_string()})",
+                        )
+    return report
+
+
+def check_input_enabledness(
+    system: System,
+    *,
+    max_nodes: Optional[int] = 20_000,
+) -> ValidationReport:
+    """Check every input channel is accepted in every reachable state.
+
+    Checks the *open-system* semantics of a plant model: for each node of
+    the simulation graph and each input channel, the union of the guards
+    of enabled receiving edges must cover the node's whole zone.
+    """
+    report = ValidationReport()
+    graph = SimulationGraph(system, open_system=True, max_nodes=max_nodes)
+    graph.explore_all()
+    report.nodes_checked = graph.node_count
+    inputs = set(system.network.channel_names("input"))
+    for node in graph.nodes:
+        if not system.can_delay(node.sym.locs):
+            continue  # committed processing states resolve instantly
+        covered = {name: Federation.empty(system.dim) for name in inputs}
+        for edge in node.out_edges:
+            if edge.move.direction != "input":
+                continue
+            zone = node.zone.constrained(
+                system.guard_constraints(edge.move, node.sym.vars)
+            )
+            covered[edge.move.label] = covered[edge.move.label].union_zone(zone)
+        whole = Federation.from_zone(node.zone)
+        for name in sorted(inputs):
+            if not covered[name].includes(whole):
+                missing = whole.subtract(covered[name])
+                report.add(
+                    "input-refusal",
+                    f"input {name}? refused at {node.sym.locs} for clock"
+                    f" valuations {missing.to_string()}",
+                )
+    return report
+
+
+def validate_plant(system: System, *, max_nodes: Optional[int] = 20_000) -> ValidationReport:
+    """Combined §2.2 checks for a plant model (determinism + enabledness)."""
+    report = check_determinism(system, max_nodes=max_nodes)
+    enabled = check_input_enabledness(system, max_nodes=max_nodes)
+    report.issues.extend(enabled.issues)
+    report.nodes_checked = max(report.nodes_checked, enabled.nodes_checked)
+    return report

@@ -1,0 +1,4 @@
+"""Test purposes: TCTL-subset queries and goal-predicate evaluation."""
+
+from .goals import GoalPredicate
+from .query import INVARIANT, REACH, REACH_GAME, SAFETY_GAME, Query, parse_query

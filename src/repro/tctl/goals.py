@@ -1,0 +1,169 @@
+"""Evaluating state predicates into zone federations.
+
+A test-purpose predicate mixes discrete atoms (locations, integer
+variables, quantifiers) with clock constraints, combined by arbitrary
+boolean structure.  For a fixed discrete state the predicate denotes a
+*set of clock valuations*; this module computes it as a
+:class:`~repro.dbm.Federation` by structural recursion with polarity
+(negation normal form on the fly):
+
+* discrete atoms evaluate to ``true``/``false`` → universal/empty;
+* clock atoms become zones (negation flips the comparison; a negated
+  clock equality becomes the union of the two strict sides);
+* ``&&`` intersects, ``||`` unions, quantifiers expand over their range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dbm import DBM, Federation
+from ..expr.ast import Binary, Expr, Quantifier, Unary, walk
+from ..expr.clocksplit import ClockAtom, GuardError, _mentions_clock, _parse_clock_atom
+from ..expr.eval import Context, evaluate, evaluate_bool
+from ..semantics.state import SymbolicState
+from ..semantics.system import System
+
+
+def normalize_process_fields(expr: Expr, system: System) -> Expr:
+    """Rewrite ``Proc.var`` atoms to plain variable references.
+
+    The paper writes process-scoped variables (``IUT.betterInfo``); our
+    declarations are global, so a dotted reference whose field is *not* a
+    location of the process but *is* a declared variable is rewritten to
+    the bare variable name.  Location tests are left untouched.
+    """
+    from ..expr.ast import ArrayIndex, Binary, Field, Name, Quantifier, Unary
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, Field) and isinstance(node.base, Name):
+            proc = node.base.ident
+            automaton = next(
+                (a for a in system.automata if a.name == proc), None
+            )
+            if automaton is not None and node.field in automaton.locations:
+                return node
+            decls = system.decls
+            if node.field in decls.int_vars or node.field in decls.constants:
+                return Name(node.field)
+            return node
+        if isinstance(node, Unary):
+            return Unary(node.op, rewrite(node.operand))
+        if isinstance(node, Binary):
+            return Binary(node.op, rewrite(node.lhs), rewrite(node.rhs))
+        if isinstance(node, ArrayIndex):
+            return ArrayIndex(rewrite(node.array), rewrite(node.index))
+        if isinstance(node, Quantifier):
+            return Quantifier(
+                node.kind, node.binder, rewrite(node.low), rewrite(node.high),
+                rewrite(node.body),
+            )
+        return node
+
+    return rewrite(expr)
+
+
+class GoalPredicate:
+    """A compiled state predicate, evaluable per symbolic state."""
+
+    def __init__(self, system: System, predicate: Expr):
+        self.system = system
+        self.predicate = normalize_process_fields(predicate, system)
+        self.dim = system.dim
+
+    # ------------------------------------------------------------------
+
+    def federation(self, sym: SymbolicState) -> Federation:
+        """The subset of ``sym.zone`` satisfying the predicate."""
+        ctx = self.system.query_ctx(sym.locs, sym.vars)
+        fed = self._eval(self.predicate, ctx, positive=True)
+        return fed.intersect_zone(sym.zone)
+
+    def holds_discretely(self, sym: SymbolicState) -> bool:
+        """True if the predicate holds for *some* valuation in the zone."""
+        return not self.federation(sym).is_empty()
+
+    def clock_atoms(self) -> List[ClockAtom]:
+        """All clock atoms syntactically present (for max constants)."""
+        decls = self.system.decls
+        atoms: List[ClockAtom] = []
+        for node in walk(self.predicate):
+            if isinstance(node, Binary) and node.op in ("<", "<=", "==", ">=", ">"):
+                if _mentions_clock(node, decls):
+                    try:
+                        atoms.append(_parse_clock_atom(node, decls))
+                    except GuardError:
+                        pass
+        return atoms
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: Expr, ctx: Context, positive: bool) -> Federation:
+        decls = self.system.decls
+        if isinstance(expr, Unary) and expr.op == "!":
+            return self._eval(expr.operand, ctx, not positive)
+        if isinstance(expr, Binary) and expr.op in ("&&", "||", "imply"):
+            op = expr.op
+            if op == "imply":
+                # a imply b  ==  !a || b
+                lhs = self._eval(expr.lhs, ctx, not positive)
+                rhs = self._eval(expr.rhs, ctx, positive)
+                combine_union = positive
+            else:
+                lhs = self._eval(expr.lhs, ctx, positive)
+                rhs = self._eval(expr.rhs, ctx, positive)
+                combine_union = (op == "||") == positive
+            if combine_union:
+                return lhs.union(rhs)
+            return lhs.intersect(rhs)
+        if isinstance(expr, Quantifier):
+            low = evaluate(expr.low, ctx)
+            high = evaluate(expr.high, ctx)
+            is_union = (expr.kind == "exists") == positive
+            result: Optional[Federation] = None
+            for value in range(low, high + 1):
+                part = self._eval(
+                    expr.body, ctx.with_binding(expr.binder, value), positive
+                )
+                if result is None:
+                    result = part
+                elif is_union:
+                    result = result.union(part)
+                else:
+                    result = result.intersect(part)
+            if result is None:  # empty range
+                return (
+                    Federation.empty(self.dim)
+                    if is_union
+                    else Federation.universal(self.dim)
+                )
+            return result
+        # Atom: clock or discrete.
+        if _mentions_clock(expr, decls):
+            return self._clock_atom_federation(expr, ctx, positive)
+        value = evaluate_bool(expr, ctx)
+        if value == positive:
+            return Federation.universal(self.dim)
+        return Federation.empty(self.dim)
+
+    def _clock_atom_federation(
+        self, expr: Expr, ctx: Context, positive: bool
+    ) -> Federation:
+        atom = _parse_clock_atom(expr, ctx.decls)
+        if positive:
+            atoms = [atom]
+        elif atom.op == "==":
+            # not (x == k)  ->  x < k  or  x > k
+            lt_atom = ClockAtom(atom.i, atom.j, "<", atom.rhs)
+            gt_atom = ClockAtom(atom.i, atom.j, ">", atom.rhs)
+            fed = Federation.empty(self.dim)
+            for part in (lt_atom, gt_atom):
+                zone = DBM.universal(self.dim).constrained(part.constraints(ctx))
+                fed = fed.union_zone(zone)
+            return fed
+        else:
+            atoms = [atom.negated()]
+        fed = Federation.universal(self.dim)
+        for part in atoms:
+            fed = fed.constrained(part.constraints(ctx))
+        return fed

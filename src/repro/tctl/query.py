@@ -1,0 +1,59 @@
+"""Test-purpose queries: the ``control:`` TCTL subset of UPPAAL-TIGA.
+
+Supported forms::
+
+    control: A<> φ      -- reachability game (the paper's test purposes)
+    control: A[] φ      -- safety game (extension)
+    E<> φ               -- plain reachability (model sanity checks)
+    A[] φ               -- plain invariant
+
+φ is a state predicate over locations (``IUT.Bright``), integer variables
+(including arrays and ``forall``/``exists``), and clocks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..expr.ast import Expr
+from ..expr.parser import ParseError, parse_expression
+
+REACH_GAME = "control_reach"
+SAFETY_GAME = "control_safe"
+REACH = "reach"
+INVARIANT = "invariant"
+
+_PATTERNS = [
+    (re.compile(r"^\s*control\s*:\s*A\s*<>\s*"), REACH_GAME),
+    (re.compile(r"^\s*control\s*:\s*A\s*\[\]\s*"), SAFETY_GAME),
+    (re.compile(r"^\s*E\s*<>\s*"), REACH),
+    (re.compile(r"^\s*A\s*\[\]\s*"), INVARIANT),
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    kind: str
+    predicate: Expr
+    source: str
+
+    @property
+    def is_game(self) -> bool:
+        return self.kind in (REACH_GAME, SAFETY_GAME)
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into its kind and state predicate."""
+    for pattern, kind in _PATTERNS:
+        match = pattern.match(text)
+        if match:
+            predicate = parse_expression(text[match.end() :])
+            return Query(kind, predicate, text.strip())
+    raise ParseError(
+        f"unsupported query {text!r}: expected 'control: A<> ...',"
+        f" 'control: A[] ...', 'E<> ...' or 'A[] ...'"
+    )

@@ -1,0 +1,25 @@
+"""Strategy-based conformance testing: tioco monitor, executor, IMPs."""
+
+from .campaign import CampaignReport, PurposeOutcome, TestCampaign
+from .executor import TestExecutor, TestExecutionError, execute_test
+from .implementation import (
+    EagerPolicy,
+    LazyPolicy,
+    OutputPolicy,
+    QuiescentPolicy,
+    RandomPolicy,
+    ScheduledOutput,
+    SimulatedImplementation,
+)
+from .replay import ReplayResult, parse_trace, replay_trace
+from .rtioco import RelativizedMonitor
+from .tioco import Quiescence, SpecNondeterminism, TiocoMonitor
+from .trace import (
+    FAIL,
+    INCONCLUSIVE,
+    PASS,
+    ActionStep,
+    DelayStep,
+    TestRun,
+    TimedTrace,
+)

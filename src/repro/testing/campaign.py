@@ -1,0 +1,179 @@
+"""Test campaigns: automated strategy-based testing environments.
+
+The paper's future-work item 2 asks for "a fully automated strategy-based
+testing environment".  A :class:`TestCampaign` is that environment in
+library form:
+
+* takes the composed specification, the plant specification, and a list
+  of test purposes;
+* synthesizes (and caches) a winning strategy per purpose, falling back
+  to cooperative strategies where no winning one exists;
+* runs every strategy against an implementation under one or more output
+  policies;
+* aggregates the verdicts into a :class:`CampaignReport` with the usual
+  conformance-testing convention: any ``fail`` makes the implementation
+  non-conformant, purposes without winning strategies can only strengthen
+  confidence, never prove it.
+
+Example::
+
+    campaign = TestCampaign(arena, plant, [TP1, TP2, TP3])
+    report = campaign.run(lambda: SimulatedImplementation(imp_sys, LazyPolicy()))
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..game.cooperative import CooperativeStrategy
+from ..game.solver import GameResult, TwoPhaseSolver
+from ..game.strategy import Strategy
+from ..semantics.system import System
+from ..tctl.query import Query, parse_query
+from .executor import execute_test
+from .implementation import SimulatedImplementation
+from .trace import FAIL, INCONCLUSIVE, PASS, TestRun
+
+
+@dataclass
+class PurposeOutcome:
+    """One purpose's synthesized strategy and its execution results."""
+
+    purpose: str
+    winning: bool
+    strategy_states: int
+    runs: List[TestRun] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        if any(run.failed for run in self.runs):
+            return FAIL
+        if all(run.passed for run in self.runs) and self.runs:
+            return PASS
+        return INCONCLUSIVE
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate result of a campaign against one implementation."""
+
+    outcomes: List[PurposeOutcome]
+
+    @property
+    def conformant(self) -> Optional[bool]:
+        """False if any run failed (sound); None if nothing conclusive."""
+        if any(o.verdict == FAIL for o in self.outcomes):
+            return False
+        if any(o.verdict == PASS for o in self.outcomes):
+            return None  # passes build confidence but cannot prove tioco
+        return None
+
+    @property
+    def failed_purposes(self) -> List[str]:
+        return [o.purpose for o in self.outcomes if o.verdict == FAIL]
+
+    def summary(self) -> str:
+        lines = []
+        for outcome in self.outcomes:
+            mode = "winning" if outcome.winning else "cooperative"
+            lines.append(
+                f"{outcome.verdict.upper():12s} {outcome.purpose}"
+                f"  [{mode} strategy, {outcome.strategy_states} states,"
+                f" {len(outcome.runs)} run(s)]"
+            )
+            for run in outcome.runs:
+                if run.failed:
+                    lines.append(f"    failing trace: {run.trace} — {run.reason}")
+        verdict = (
+            "NON-CONFORMANT (tioco violated)"
+            if self.conformant is False
+            else "no violation found"
+        )
+        lines.append(f"overall: {verdict}")
+        return "\n".join(lines)
+
+
+class TestCampaign:
+    """Synthesize once, test many implementations."""
+
+    def __init__(
+        self,
+        arena: System,
+        plant: System,
+        purposes: Sequence[Union[str, Query]],
+        *,
+        time_limit: Optional[float] = None,
+        allow_cooperative: bool = True,
+    ):
+        self.arena = arena
+        self.plant = plant
+        self.time_limit = time_limit
+        self.allow_cooperative = allow_cooperative
+        self.queries: List[Query] = [
+            q if isinstance(q, Query) else parse_query(q) for q in purposes
+        ]
+        self._strategies: Dict[str, object] = {}
+        self._results: Dict[str, GameResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def strategy_for(self, query: Query):
+        """Synthesize (cached) the strategy for one purpose."""
+        key = str(query)
+        if key in self._strategies:
+            return self._strategies[key]
+        solver = TwoPhaseSolver(self.arena, query, time_limit=self.time_limit)
+        result = solver.solve()
+        self._results[key] = result
+        if result.winning:
+            strategy: object = Strategy(result)
+        elif self.allow_cooperative:
+            strategy = CooperativeStrategy(result)
+        else:
+            strategy = None
+        self._strategies[key] = strategy
+        return strategy
+
+    def synthesize_all(self) -> Dict[str, bool]:
+        """Pre-compute every strategy; returns purpose -> winning flag."""
+        out = {}
+        for query in self.queries:
+            self.strategy_for(query)
+            out[str(query)] = self._results[str(query)].winning
+        return out
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        implementation_factory: Callable[[], SimulatedImplementation],
+        *,
+        repetitions: int = 1,
+        max_iterations: int = 10_000,
+    ) -> CampaignReport:
+        """Test one implementation against every purpose.
+
+        ``implementation_factory`` builds a *fresh* implementation per run
+        (runs must not leak state into each other).
+        """
+        outcomes = []
+        for query in self.queries:
+            strategy = self.strategy_for(query)
+            result = self._results[str(query)]
+            outcome = PurposeOutcome(
+                str(query),
+                result.winning,
+                getattr(strategy, "size", 0) if strategy is not None else 0,
+            )
+            if strategy is not None:
+                for _ in range(repetitions):
+                    imp = implementation_factory()
+                    outcome.runs.append(
+                        execute_test(
+                            strategy, self.plant, imp, max_iterations=max_iterations
+                        )
+                    )
+            outcomes.append(outcome)
+        return CampaignReport(outcomes)

@@ -1,0 +1,289 @@
+"""Test execution with winning strategies — the paper's Algorithm 3.1.
+
+The executor drives a black-box implementation with a winning strategy,
+incrementally building a timed trace σ:
+
+* consult the strategy at the current (composed spec) state;
+* ``input i``  → send ``i`` to the implementation, σ := σ·i;
+* ``delay d``  → wait; if an output ``o`` occurs at ``d' <= d``, check
+  ``o ∈ Out(s0 After σ·d')`` via the tioco monitor — **fail** otherwise —
+  and σ := σ·d'·o; else σ := σ·d;
+* when σ reaches a goal state, **pass**.
+
+Deviations from the listing are bookkeeping only: the tester additionally
+tracks the composed (plant ∥ environment) state the strategy is defined
+over, and quiescence violations (the spec forcing an output the
+implementation never produced) are detected by bounding every wait with
+the spec's maximal quiescence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..game.strategy import Strategy, Verdictish
+from ..semantics.state import ConcreteState
+from ..semantics.system import Move, System
+from .implementation import SimulatedImplementation
+from .tioco import TiocoMonitor
+from .trace import FAIL, INCONCLUSIVE, PASS, TestRun, TimedTrace
+
+
+class TestExecutionError(RuntimeError):
+    """Internal inconsistency during test execution (not a verdict)."""
+
+
+@dataclass
+class TestExecutor:
+    """Binds together strategy, spec monitor, and implementation.
+
+    The strategy is defined over the *composed* specification (plant ∥
+    environment); only moves that involve a plant automaton cross the test
+    interface.  Environment-internal controllable moves (e.g. the LEP
+    controller instructing its chaotic network) merely update the tester's
+    own state.  Value-passing inputs carry the emitting environment edge's
+    shared-variable updates to the implementation and the monitor (the
+    UPPAAL idiom for parameterized actions).
+    """
+
+    strategy: Strategy
+    spec_plant: System
+    implementation: SimulatedImplementation
+    max_iterations: int = 10_000
+
+    @property
+    def _plant_names(self):
+        return {a.name for a in self.spec_plant.automata}
+
+    def _involves_plant(self, move: Move) -> bool:
+        composed = self.strategy.system
+        return any(
+            composed.automata[a_idx].name in self._plant_names
+            for a_idx, _ in move.edges
+        )
+
+    def _plant_var_updates(self, tester: ConcreteState, move: Move):
+        """Shared-variable effects of the move's environment-side edges.
+
+        Returns ``[(name, index_or_None, value)]`` restricted to variables
+        that exist (by name) in the plant specification.
+        """
+        from ..expr.eval import apply_assignments
+
+        composed = self.strategy.system
+        state = tester.vars
+        for a_idx, edge in move.edges:
+            if composed.automata[a_idx].name in self._plant_names:
+                continue
+            if edge.int_assigns:
+                state = apply_assignments(edge.int_assigns, composed.ctx(state))
+        updates = []
+        plant_decls = self.spec_plant.decls
+        for name, var in composed.decls.int_vars.items():
+            if name not in plant_decls.int_vars:
+                continue
+            if state[var.slot] != tester.vars[var.slot]:
+                updates.append((name, None, state[var.slot]))
+        for name, arr in composed.decls.arrays.items():
+            if name not in plant_decls.arrays:
+                continue
+            for k in range(arr.size):
+                if state[arr.offset + k] != tester.vars[arr.offset + k]:
+                    updates.append((name, k, state[arr.offset + k]))
+        return updates
+
+    def run(self) -> TestRun:
+        strategy = self.strategy
+        composed = strategy.system
+        monitor = TiocoMonitor(self.spec_plant)
+        imp = self.implementation
+        imp.reset()
+        tester = self._settle_tau(composed, composed.initial_concrete())
+        trace = TimedTrace()
+
+        for iteration in range(1, self.max_iterations + 1):
+            decision = strategy.decide(tester)
+            if decision.kind == Verdictish.DONE:
+                return TestRun(PASS, trace, "goal state reached", iteration)
+            if decision.kind == Verdictish.LOST:
+                return TestRun(
+                    INCONCLUSIVE,
+                    trace,
+                    "tester state left the winning region (internal error)",
+                    iteration,
+                )
+            if decision.kind == Verdictish.FIRE:
+                result = self._fire(decision.move, monitor, imp, tester, trace)
+                if isinstance(result, TestRun):
+                    return result
+                tester = result
+                continue
+            # WAIT: decision.delay is the strategy's next scheduled action
+            # time; None means "wait for the plant" (forced-output region).
+            result = self._wait(decision.delay, monitor, imp, tester, trace)
+            if isinstance(result, TestRun):
+                return result
+            tester = result
+        return TestRun(
+            INCONCLUSIVE, trace, "iteration budget exhausted", self.max_iterations
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fire(
+        self,
+        move: Move,
+        monitor: TiocoMonitor,
+        imp: SimulatedImplementation,
+        tester: ConcreteState,
+        trace: TimedTrace,
+    ):
+        composed = self.strategy.system
+        label = move.label
+        if not self._involves_plant(move):
+            # Environment-internal controllable move: invisible at the
+            # plant interface; only the tester's own state changes.
+            nxt = composed.fire(tester, move)
+            if nxt is None:
+                raise TestExecutionError(
+                    f"strategy fired disabled env move {label} at {tester}"
+                )
+            return self._settle_tau(composed, nxt)
+        updates = self._plant_var_updates(tester, move)
+        if not imp.give_input(label, updates):
+            trace.add_action(label, "input")
+            return TestRun(
+                FAIL,
+                trace,
+                f"implementation refused input {label}?"
+                f" (violates input-enabledness)",
+            )
+        trace.add_action(label, "input")
+        if not monitor.observe(label, "input", updates):
+            return TestRun(FAIL, trace, monitor.violation or "spec refused input")
+        nxt = composed.fire(tester, move)
+        if nxt is None:
+            raise TestExecutionError(
+                f"strategy fired disabled move {label} at {tester}"
+            )
+        return self._settle_tau(composed, nxt)
+
+    def _wait(
+        self,
+        scheduled: Optional[Fraction],
+        monitor: TiocoMonitor,
+        imp: SimulatedImplementation,
+        tester: ConcreteState,
+        trace: TimedTrace,
+    ):
+        composed = self.strategy.system
+        quiescence = monitor.max_quiescence()
+        # How long the tester is prepared to wait this round: either until
+        # its next scheduled action, or (waiting for the plant) just past
+        # the instant the spec forces an output.
+        if scheduled is not None:
+            wait_for = scheduled
+        elif quiescence.bound is not None:
+            wait_for = quiescence.bound + Fraction(1, 2)
+        else:
+            return TestRun(
+                INCONCLUSIVE,
+                trace,
+                "strategy waits forever and spec never forces an output",
+            )
+
+        pending = imp.next_output()
+        if pending is not None and pending.delay <= wait_for:
+            # The implementation acts first (or simultaneously).
+            d = pending.delay
+            label = imp.advance(d)
+            trace.add_delay(d)
+            if not monitor.advance(d):
+                return TestRun(FAIL, trace, monitor.violation or "quiescence")
+            new_tester = self._delay_tester(composed, tester, d)
+            if label is None:
+                # Internal move of the implementation: nothing observed.
+                return new_tester if new_tester is not None else TestRun(
+                    FAIL, trace, "tester time left the spec invariant"
+                )
+            trace.add_action(label, "output")
+            if not monitor.observe(label, "output"):
+                return TestRun(FAIL, trace, monitor.violation or "bad output")
+            if new_tester is None:
+                return TestRun(FAIL, trace, "tester time left the spec invariant")
+            next_tester = self._tester_output(composed, new_tester, label)
+            if next_tester is None:
+                return TestRun(
+                    FAIL,
+                    trace,
+                    f"output {label}! not accepted by composed spec state",
+                )
+            return next_tester
+
+        # Quiet until the tester's own schedule.
+        imp.advance(wait_for)
+        trace.add_delay(wait_for)
+        if not monitor.advance(wait_for):
+            return TestRun(FAIL, trace, monitor.violation or "quiescence violation")
+        new_tester = self._delay_tester(composed, tester, wait_for)
+        if new_tester is None:
+            return TestRun(FAIL, trace, "tester time left the spec invariant")
+        return new_tester
+
+    @staticmethod
+    def _settle_tau(composed: System, state: ConcreteState) -> ConcreteState:
+        """Resolve committed internal processing in the composed spec."""
+        from fractions import Fraction as F
+
+        for _ in range(64):
+            if composed.can_delay(state.locs):
+                return state
+            fired = False
+            for move in composed.moves_from(state.locs, state.vars):
+                if move.direction != "internal":
+                    continue
+                interval = composed.enabled_interval(state, move)
+                if interval is None or not interval.contains(F(0)):
+                    continue
+                nxt = composed.fire(state, move)
+                if nxt is not None:
+                    state = nxt
+                    fired = True
+                    break
+            if not fired:
+                return state
+        raise TestExecutionError("internal-move settling did not converge")
+
+    @classmethod
+    def _delay_tester(
+        cls, composed: System, tester: ConcreteState, d: Fraction
+    ) -> Optional[ConcreteState]:
+        if not composed.delay_ok(tester, d):
+            return None
+        return tester.delayed(d)
+
+    @classmethod
+    def _tester_output(
+        cls, composed: System, tester: ConcreteState, label: str
+    ) -> Optional[ConcreteState]:
+        for move in composed.moves_from(tester.locs, tester.vars):
+            if move.label != label or move.direction != "output":
+                continue
+            nxt = composed.fire(tester, move)
+            if nxt is not None:
+                return cls._settle_tau(composed, nxt)
+        return None
+
+
+def execute_test(
+    strategy: Strategy,
+    spec_plant: System,
+    implementation: SimulatedImplementation,
+    *,
+    max_iterations: int = 10_000,
+) -> TestRun:
+    """One-shot convenience wrapper around :class:`TestExecutor`."""
+    executor = TestExecutor(strategy, spec_plant, implementation, max_iterations)
+    return executor.run()

@@ -1,0 +1,262 @@
+"""Simulated implementations under test.
+
+The paper tests black boxes; here the black box is a *simulated
+implementation*: an interpreter for a plant-shaped network (possibly a
+mutant of the spec) that is **deterministic** and **output-urgent** — the
+paper's test hypotheses (§2.5).  Determinism and urgency come from an
+:class:`OutputPolicy` that, at every state, commits to *which* output to
+produce and *when* (within the window the model allows); if the tester's
+input arrives first, the schedule is recomputed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from ..semantics.state import ConcreteState
+from ..semantics.system import DelayInterval, Move, System
+
+
+@dataclass(frozen=True)
+class ScheduledOutput:
+    """An output the implementation has committed to produce."""
+
+    move: Move
+    delay: Fraction  # from "now"
+
+    @property
+    def label(self) -> str:
+        return self.move.label
+
+
+class OutputPolicy(Protocol):
+    """Resolves output nondeterminism: which output, when."""
+
+    def choose(
+        self,
+        state: ConcreteState,
+        options: Sequence[Tuple[Move, DelayInterval]],
+        forced_by: Optional[Fraction],
+    ) -> Optional[ScheduledOutput]:
+        """Pick an output and a firing delay, or None to stay quiescent.
+
+        ``forced_by`` is the invariant bound: if not None, staying silent
+        beyond it is impossible, so returning None means "wait until the
+        boundary and then fire whatever the model forces" — the simulator
+        converts that into the latest legal schedule.
+        """
+        ...
+
+
+def _interval_pick_at_or_after(interval: DelayInterval, at: Fraction) -> Optional[Fraction]:
+    """A delay in ``interval`` at or after ``at`` (None if none exists)."""
+    candidate = at
+    if candidate < interval.lo or (candidate == interval.lo and interval.lo_strict):
+        candidate = interval.pick()
+    if interval.contains(candidate):
+        return candidate
+    return None
+
+
+class EagerPolicy:
+    """Always produce the first enabled output as early as possible."""
+
+    def choose(self, state, options, forced_by):
+        best: Optional[ScheduledOutput] = None
+        for move, interval in sorted(options, key=lambda o: o[0].label):
+            delay = interval.pick()
+            if best is None or delay < best.delay:
+                best = ScheduledOutput(move, delay)
+        return best
+
+
+class LazyPolicy:
+    """Produce outputs as late as the model (invariant) allows."""
+
+    def choose(self, state, options, forced_by):
+        best: Optional[ScheduledOutput] = None
+        for move, interval in sorted(options, key=lambda o: o[0].label):
+            if interval.hi is None:
+                if forced_by is None:
+                    continue  # never forced, stay quiescent on this one
+                delay = forced_by
+                if not interval.contains(delay):
+                    delay = interval.pick()
+            else:
+                delay = interval.hi
+                if interval.hi_strict:
+                    delay = (max(interval.lo, Fraction(0)) + interval.hi) / 2
+                    if not interval.contains(delay):
+                        delay = interval.pick()
+            if best is None or delay > best.delay:
+                best = ScheduledOutput(move, delay)
+        return best
+
+
+class QuiescentPolicy:
+    """Stay silent unless the invariant forces an output."""
+
+    def choose(self, state, options, forced_by):
+        if forced_by is None:
+            return None
+        for move, interval in sorted(options, key=lambda o: o[0].label):
+            delay = _interval_pick_at_or_after(interval, forced_by)
+            if delay is not None:
+                return ScheduledOutput(move, delay)
+        # Nothing fireable at the boundary: pick any enabled schedule.
+        for move, interval in sorted(options, key=lambda o: o[0].label):
+            return ScheduledOutput(move, interval.pick())
+        return None
+
+
+class RandomPolicy:
+    """Seeded random choice of output and firing time (half-integer grid)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, state, options, forced_by):
+        if not options:
+            return None
+        move, interval = self._rng.choice(list(options))
+        lo = interval.lo
+        hi = interval.hi
+        if hi is None:
+            hi = lo + 2
+        if forced_by is not None and forced_by < hi:
+            hi = forced_by
+        # Sample on the half-integer grid inside [lo, hi].
+        steps = int((hi - lo) * 2)
+        candidates = [lo + Fraction(k, 2) for k in range(steps + 1)]
+        candidates = [c for c in candidates if interval.contains(c)]
+        if not candidates:
+            candidates = [interval.pick()]
+        return ScheduledOutput(move, self._rng.choice(candidates))
+
+
+class SimulatedImplementation:
+    """A deterministic, output-urgent TIOTS interpreter (the IMP)."""
+
+    def __init__(self, system: System, policy: Optional[OutputPolicy] = None,
+                 name: str = "IMP"):
+        self.system = system
+        self.policy = policy or EagerPolicy()
+        self.name = name
+        self.state: ConcreteState = system.initial_concrete()
+        self._schedule: Optional[ScheduledOutput] = None
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.state = self.system.initial_concrete()
+        self._reschedule()
+
+    def _output_options(self) -> List[Tuple[Move, DelayInterval]]:
+        options = []
+        for move in self.system.open_moves_from(self.state.locs, self.state.vars):
+            if move.direction != "output" and move.direction != "internal":
+                continue
+            interval = self.system.enabled_interval(self.state, move)
+            if interval is not None:
+                options.append((move, interval))
+        return options
+
+    def _reschedule(self) -> None:
+        options = self._output_options()
+        bound, strict = self.system.max_delay(self.state)
+        forced_by = None
+        if bound is not None and not strict:
+            forced_by = bound
+        elif bound is not None and strict:
+            forced_by = bound  # approximation: fire by the open bound
+        self._schedule = (
+            self.policy.choose(self.state, options, forced_by) if options else None
+        )
+
+    # ------------------------------------------------------------------
+    # The black-box interface used by the test executor
+    # ------------------------------------------------------------------
+
+    def next_output(self) -> Optional[ScheduledOutput]:
+        """The output that will occur if the tester stays silent."""
+        return self._schedule
+
+    def advance(self, d: Fraction) -> Optional[str]:
+        """Let ``d`` time units pass; returns an output label if the
+        implementation's scheduled output fires exactly at ``d``."""
+        if d < 0:
+            raise ValueError("negative delay")
+        if self._schedule is not None and self._schedule.delay < d:
+            raise ValueError(
+                f"cannot advance {d}: output {self._schedule.label} due at"
+                f" {self._schedule.delay}"
+            )
+        self.state = self.state.delayed(d)
+        if self._schedule is not None:
+            if self._schedule.delay == d:
+                return self._emit()
+            self._schedule = ScheduledOutput(
+                self._schedule.move, self._schedule.delay - d
+            )
+        return None
+
+    def _emit(self) -> Optional[str]:
+        move = self._schedule.move
+        nxt = self.system.fire(self.state, move)
+        if nxt is None:  # schedule went stale (should not happen)
+            self._reschedule()
+            return None
+        label = move.label if move.direction != "internal" else None
+        self.state = nxt
+        self._reschedule()
+        return label
+
+    def give_input(self, label: str, updates: Optional[list] = None) -> bool:
+        """Tester offers an input now; False if the IMP refuses it.
+
+        ``updates`` are ``(var_name, index_or_None, value)`` triples: the
+        message payload of a value-passing input, applied to the shared
+        variables before the receiving edge fires (UPPAAL emitter-first
+        assignment order).
+        """
+        if updates:
+            self.state = ConcreteState(
+                self.state.locs,
+                apply_var_updates(self.system, self.state.vars, updates),
+                self.state.clocks,
+            )
+        matches = []
+        for move in self.system.open_moves_from(self.state.locs, self.state.vars):
+            if move.direction != "input" or move.label != label:
+                continue
+            interval = self.system.enabled_interval(self.state, move)
+            if interval is not None and interval.contains(Fraction(0)):
+                matches.append(move)
+        if not matches:
+            return False
+        nxt = self.system.fire(self.state, matches[0])
+        if nxt is None:
+            return False
+        self.state = nxt
+        self._reschedule()
+        return True
+
+
+def apply_var_updates(system: System, vars: tuple, updates) -> tuple:
+    """Apply ``(name, index_or_None, value)`` updates to a variable tuple."""
+    state = list(vars)
+    decls = system.decls
+    for name, index, value in updates:
+        if index is None:
+            var = decls.int_vars.get(name)
+            if var is not None:
+                state[var.slot] = value
+        else:
+            arr = decls.arrays.get(name)
+            if arr is not None and 0 <= index < arr.size:
+                state[arr.offset + index] = value
+    return tuple(state)

@@ -1,0 +1,85 @@
+"""Offline conformance checking: replay recorded timed traces.
+
+Test execution (Algorithm 3.1) checks tioco *online*; this module applies
+the same check to a previously recorded :class:`TimedTrace` — useful for
+log-based conformance analysis, regression triage of failing runs, and
+for validating externally produced traces against a specification.
+
+``replay_trace`` returns a :class:`ReplayResult` marking the first
+violating step (if any); a trace "passes" replay when every delay and
+action is admitted by ``s0 After σ`` as the trace is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..semantics.system import System
+from .tioco import TiocoMonitor
+from .trace import ActionStep, DelayStep, TimedTrace
+
+
+@dataclass
+class ReplayResult:
+    conformant: bool
+    steps_consumed: int
+    violation: Optional[str] = None
+    violating_step: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.conformant
+
+    def __str__(self) -> str:
+        if self.conformant:
+            return f"conformant ({self.steps_consumed} steps)"
+        return (
+            f"violation at step {self.steps_consumed}"
+            f" ({self.violating_step}): {self.violation}"
+        )
+
+
+def replay_trace(spec: System, trace: TimedTrace) -> ReplayResult:
+    """Check a recorded trace against an (open) plant specification.
+
+    Inputs in the trace are offered to the spec (refusal = the spec is
+    not input-enabled there, reported as a violation of the *trace*,
+    since a §2.2-valid spec accepts every input); outputs and delays are
+    checked exactly as the online monitor does.
+    """
+    monitor = TiocoMonitor(spec)
+    for index, step in enumerate(trace.steps):
+        if isinstance(step, DelayStep):
+            ok = monitor.advance(step.delay)
+        elif isinstance(step, ActionStep):
+            ok = monitor.observe(step.label, step.direction)
+        else:  # pragma: no cover - defensive
+            return ReplayResult(False, index, f"unknown step {step!r}", str(step))
+        if not ok:
+            return ReplayResult(False, index, monitor.violation, str(step))
+    return ReplayResult(True, len(trace.steps))
+
+
+def parse_trace(text: str) -> TimedTrace:
+    """Parse the textual trace format produced by ``str(TimedTrace)``.
+
+    Steps are separated by ``.``; a step is either a rational delay
+    (``3`` or ``5/2``) or an action ``label?`` (input) / ``label!``
+    (output).
+    """
+    trace = TimedTrace()
+    text = text.strip()
+    if not text or text == "<empty>":
+        return trace
+    for raw in text.split("."):
+        token = raw.strip()
+        if not token:
+            continue
+        if token.endswith("?"):
+            trace.add_action(token[:-1], "input")
+        elif token.endswith("!"):
+            trace.add_action(token[:-1], "output")
+        else:
+            trace.add_delay(Fraction(token))
+    return trace

@@ -1,0 +1,137 @@
+"""Environment-relativized conformance: rtioco (paper §2.3, via [11]).
+
+``rtioco`` relativizes conformance to an explicit environment model: the
+implementation only has to conform on behaviours the environment can
+actually exercise, and — dually — an output the *composed* specification
+cannot accept (because the environment model never listens for it there)
+is a violation even if the plant spec alone would allow it.
+
+:class:`RelativizedMonitor` tracks the composed (plant ∥ environment)
+specification state.  Inputs are reported as full composed moves (the
+tester knows which environment edge it took, including value-passing
+variants); outputs and delays are checked against what the composed model
+admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from ..semantics.state import ConcreteState
+from ..semantics.system import Move, System
+from .tioco import Quiescence
+
+
+class RelativizedMonitor:
+    """Tracks ``(plant ∥ env) After σ`` for rtioco checking."""
+
+    def __init__(self, composed_spec: System):
+        self.spec = composed_spec
+        self.state: ConcreteState = composed_spec.initial_concrete()
+        self.violation: Optional[str] = None
+        self._settle()
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.state = self.spec.initial_concrete()
+        self.violation = None
+        self._settle()
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def _fail(self, reason: str) -> bool:
+        self.violation = reason
+        return False
+
+    def _settle(self) -> None:
+        """Resolve committed internal moves (deterministic specs)."""
+        for _ in range(64):
+            if self.spec.can_delay(self.state.locs):
+                return
+            fired = False
+            for move in self.spec.moves_from(self.state.locs, self.state.vars):
+                if move.direction != "internal":
+                    continue
+                interval = self.spec.enabled_interval(self.state, move)
+                if interval is None or not interval.contains(Fraction(0)):
+                    continue
+                nxt = self.spec.fire(self.state, move)
+                if nxt is not None:
+                    self.state = nxt
+                    fired = True
+                    break
+            if not fired:
+                return
+
+    # ------------------------------------------------------------------
+    # Out(state) under the environment
+    # ------------------------------------------------------------------
+
+    def allowed_outputs(self) -> List[str]:
+        out = set()
+        for move in self.spec.moves_from(self.state.locs, self.state.vars):
+            if move.direction != "output":
+                continue
+            interval = self.spec.enabled_interval(self.state, move)
+            if interval is not None and interval.contains(Fraction(0)):
+                out.add(move.label)
+        return sorted(out)
+
+    def max_quiescence(self) -> Quiescence:
+        bound, strict = self.spec.max_delay(self.state)
+        return Quiescence(bound, strict)
+
+    # ------------------------------------------------------------------
+    # Trace extension
+    # ------------------------------------------------------------------
+
+    def advance(self, d: Fraction) -> bool:
+        if not self.ok:
+            return False
+        if d == 0:
+            return True
+        if not self.max_quiescence().allows(d):
+            return self._fail(
+                f"quiescence of {d} exceeds the composed specification's"
+                f" bound {self.max_quiescence().bound} (rtioco)"
+            )
+        self.state = self.state.delayed(d)
+        return True
+
+    def observe_move(self, move: Move) -> bool:
+        """The tester's own (environment-chosen) input move."""
+        if not self.ok:
+            return False
+        nxt = self.spec.fire(self.state, move)
+        if nxt is None:
+            return self._fail(
+                f"input move {move.label} not enabled in the composed"
+                f" specification (environment model violated?)"
+            )
+        self.state = nxt
+        self._settle()
+        return True
+
+    def observe_output(self, label: str) -> bool:
+        if not self.ok:
+            return False
+        for move in self.spec.moves_from(self.state.locs, self.state.vars):
+            if move.direction != "output" or move.label != label:
+                continue
+            interval = self.spec.enabled_interval(self.state, move)
+            if interval is None or not interval.contains(Fraction(0)):
+                continue
+            nxt = self.spec.fire(self.state, move)
+            if nxt is not None:
+                self.state = nxt
+                self._settle()
+                return True
+        return self._fail(
+            f"output {label}! not admitted by the composed specification"
+            f" here (allowed: {self.allowed_outputs() or 'none'}) (rtioco)"
+        )

@@ -1,0 +1,189 @@
+"""Online tioco conformance monitoring (paper Def. 5).
+
+``i tioco s  iff  ∀σ ∈ TTr(s): Out(i After σ) ⊆ Out(s After σ)``
+
+The monitor tracks ``s0 After σ`` for the *specification plant* while the
+test executor builds σ incrementally, and answers two questions:
+
+* may the plant delay (stay quiescent) for ``d`` more time units?
+  (bounded by location invariants — a spec that *forces* an output by
+  time T makes longer quiescence a conformance violation);
+* may the plant emit output ``o`` right now?
+
+The paper's test hypotheses make SPEC deterministic, so ``After σ`` is a
+single state once the trace (with exact delays) is fixed; the monitor
+keeps one exact :class:`ConcreteState` and raises on genuinely
+nondeterministic specs (same action enabled via two different moves at
+the same instant with different successors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..semantics.state import ConcreteState
+from ..semantics.system import Move, System
+
+
+class SpecNondeterminism(RuntimeError):
+    """The specification violated the determinism test hypothesis."""
+
+
+@dataclass(frozen=True)
+class Quiescence:
+    """How long the spec allows silence: ``bound`` None means forever."""
+
+    bound: Optional[Fraction]
+    strict: bool
+
+    def allows(self, d: Fraction) -> bool:
+        if self.bound is None:
+            return True
+        return d < self.bound or (d == self.bound and not self.strict)
+
+
+class TiocoMonitor:
+    """Tracks ``s0 After σ`` of an open plant specification."""
+
+    def __init__(self, spec: System):
+        self.spec = spec
+        self.state: ConcreteState = spec.initial_concrete()
+        self.violation: Optional[str] = None
+        self._settle()
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.state = self.spec.initial_concrete()
+        self.violation = None
+        self._settle()
+
+    def _settle(self) -> None:
+        """Silently resolve committed internal processing steps.
+
+        Deterministic specs resolve value-passing in committed locations
+        (zero time, unobservable); the monitor state is always settled.
+        """
+        for _ in range(64):
+            if self.spec.can_delay(self.state.locs):
+                return
+            internal = []
+            for move in self.spec.open_moves_from(self.state.locs, self.state.vars):
+                if move.direction != "internal":
+                    continue
+                interval = self.spec.enabled_interval(self.state, move)
+                if interval is not None and interval.contains(Fraction(0)):
+                    internal.append(move)
+            if not internal:
+                return
+            if len(internal) > 1:
+                successors = {self.spec.fire(self.state, m) for m in internal}
+                if len(successors) > 1:
+                    raise SpecNondeterminism(
+                        "multiple internal moves enabled in a committed state"
+                    )
+            nxt = self.spec.fire(self.state, internal[0])
+            if nxt is None:
+                return
+            self.state = nxt
+        raise SpecNondeterminism("internal-move settling did not converge")
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def _fail(self, reason: str) -> bool:
+        self.violation = reason
+        return False
+
+    # ------------------------------------------------------------------
+    # Out(state) pieces
+    # ------------------------------------------------------------------
+
+    def enabled_now(self, direction: Optional[str] = None) -> List[Tuple[Move, str]]:
+        """Moves enabled at the current instant (optionally by direction)."""
+        out = []
+        for move in self.spec.open_moves_from(self.state.locs, self.state.vars):
+            if direction is not None and move.direction != direction:
+                continue
+            interval = self.spec.enabled_interval(self.state, move)
+            if interval is not None and interval.contains(Fraction(0)):
+                out.append((move, move.label))
+        return out
+
+    def allowed_outputs(self) -> List[str]:
+        """``Out(s After σ)`` restricted to actions (paper §2.2)."""
+        return sorted({label for _, label in self.enabled_now("output")})
+
+    def max_quiescence(self) -> Quiescence:
+        """The largest delay in ``Out(s After σ)`` (invariant bound)."""
+        bound, strict = self.spec.max_delay(self.state)
+        return Quiescence(bound, strict)
+
+    # ------------------------------------------------------------------
+    # Trace extension
+    # ------------------------------------------------------------------
+
+    def advance(self, d: Fraction) -> bool:
+        """Extend σ by a delay; False = quiescence not allowed by spec."""
+        if not self.ok:
+            return False
+        if d == 0:
+            return True
+        if not self.max_quiescence().allows(d):
+            return self._fail(
+                f"implementation stayed quiescent for {d} time units but the"
+                f" specification forces an action by"
+                f" {self.max_quiescence().bound}"
+            )
+        self.state = self.state.delayed(d)
+        return True
+
+    def observe(self, label: str, direction: str, updates=None) -> bool:
+        """Extend σ by an observed action; False = tioco violation.
+
+        For value-passing inputs, ``updates`` carries the message payload
+        as ``(var_name, index_or_None, value)`` triples (see
+        :meth:`SimulatedImplementation.give_input`).
+        """
+        if not self.ok:
+            return False
+        if updates:
+            from .implementation import apply_var_updates
+
+            self.state = ConcreteState(
+                self.state.locs,
+                apply_var_updates(self.spec, self.state.vars, updates),
+                self.state.clocks,
+            )
+        matches = [
+            move for move, lab in self.enabled_now(direction) if lab == label
+        ]
+        if not matches:
+            if direction == "output":
+                allowed = self.allowed_outputs()
+                return self._fail(
+                    f"output {label}! not allowed by specification here"
+                    f" (allowed outputs: {allowed or 'none'})"
+                )
+            return self._fail(
+                f"input {label}? unexpectedly refused by specification"
+                f" (spec not input-enabled?)"
+            )
+        successors = []
+        for move in matches:
+            nxt = self.spec.fire(self.state, move)
+            if nxt is not None:
+                successors.append(nxt)
+        if not successors:
+            return self._fail(f"action {label} blocked by target invariant")
+        unique = {s for s in successors}
+        if len(unique) > 1:
+            raise SpecNondeterminism(
+                f"specification is nondeterministic on {label} at {self.state}"
+            )
+        self.state = successors[0]
+        self._settle()
+        return True

@@ -1,0 +1,101 @@
+"""Timed traces and test verdicts.
+
+An observable timed trace (paper §2.2) is an alternating sequence of
+delays and actions ``d1 a1 d2 a2 ... dk``.  We keep exact rational delays
+and tag each action with its direction as seen at the plant interface
+(``input`` = tester → plant, ``output`` = plant → tester).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Union
+
+
+PASS = "pass"
+FAIL = "fail"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class ActionStep:
+    label: str
+    direction: str  # 'input' | 'output'
+
+    def __str__(self) -> str:
+        mark = "?" if self.direction == "input" else "!"
+        return f"{self.label}{mark}"
+
+
+@dataclass(frozen=True)
+class DelayStep:
+    delay: Fraction
+
+    def __str__(self) -> str:
+        return str(self.delay)
+
+
+Step = Union[ActionStep, DelayStep]
+
+
+@dataclass
+class TimedTrace:
+    """A mutable timed trace being built up by the test executor."""
+
+    steps: List[Step] = field(default_factory=list)
+
+    def add_delay(self, delay: Fraction) -> None:
+        if delay < 0:
+            raise ValueError("negative delay")
+        if delay == 0:
+            return
+        if self.steps and isinstance(self.steps[-1], DelayStep):
+            last = self.steps.pop()
+            self.steps.append(DelayStep(last.delay + delay))
+        else:
+            self.steps.append(DelayStep(delay))
+
+    def add_action(self, label: str, direction: str) -> None:
+        self.steps.append(ActionStep(label, direction))
+
+    @property
+    def total_time(self) -> Fraction:
+        return sum(
+            (s.delay for s in self.steps if isinstance(s, DelayStep)),
+            Fraction(0),
+        )
+
+    @property
+    def actions(self) -> List[ActionStep]:
+        return [s for s in self.steps if isinstance(s, ActionStep)]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return " . ".join(str(s) for s in self.steps) if self.steps else "<empty>"
+
+
+@dataclass
+class TestRun:
+    """The outcome of one execution of Algorithm 3.1."""
+
+    verdict: str
+    trace: TimedTrace
+    reason: str = ""
+    iterations: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == PASS
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == FAIL
+
+    def __str__(self) -> str:
+        out = f"{self.verdict.upper()}: {self.trace}"
+        if self.reason:
+            out += f" ({self.reason})"
+        return out

@@ -1,0 +1,3 @@
+"""Utilities: resource measurement and table formatting for benchmarks."""
+
+from .resources import Measurement, format_table, measure, stopwatch

@@ -1,0 +1,114 @@
+"""Measuring time and memory of solver runs (for the Table 1 harness).
+
+The paper reports seconds and megabytes per strategy-generation run; we
+measure wall-clock time with ``perf_counter`` and peak *additional* Python
+heap via ``tracemalloc``.  ``tracemalloc`` slows allocation-heavy code
+down noticeably, so memory tracking is opt-in.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass
+class Measurement:
+    seconds: float
+    peak_mb: Optional[float]
+    result: Any = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def cell(self, precision: int = 2) -> str:
+        """Table-cell rendering; '/' marks out-of-resource, as in the paper."""
+        if self.failed:
+            return "/"
+        return f"{self.seconds:.{precision}f}"
+
+    def memory_cell(self) -> str:
+        if self.failed or self.peak_mb is None:
+            return "/"
+        if self.peak_mb < 1:
+            return f"{self.peak_mb:.1f}"
+        return f"{self.peak_mb:.0f}"
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    track_memory: bool = True,
+    swallow: Tuple[type, ...] = (),
+) -> Measurement:
+    """Run ``fn`` and record wall time, peak heap, and its result.
+
+    Exceptions whose type is in ``swallow`` become '/' cells instead of
+    propagating (used for the paper's out-of-memory markers).
+    """
+    if track_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    error = None
+    result = None
+    try:
+        result = fn()
+    except swallow as exc:  # type: ignore[misc]
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        elapsed = time.perf_counter() - start
+        peak_mb = None
+        if track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_mb = peak / (1024 * 1024)
+    return Measurement(elapsed, peak_mb, result, error)
+
+
+@contextmanager
+def stopwatch():
+    """``with stopwatch() as t: ...; t.seconds`` after the block."""
+
+    class _Timer:
+        seconds: float = 0.0
+
+    timer = _Timer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start
+
+
+def format_table(
+    title: str,
+    column_labels,
+    rows,
+) -> str:
+    """Fixed-width table rendering used by the benchmark harnesses.
+
+    ``rows`` is a list of (row label, [cells]).
+    """
+    label_width = max([len(r[0]) for r in rows] + [4])
+    widths = [
+        max(len(str(column_labels[i])), *(len(str(r[1][i])) for r in rows), 5)
+        for i in range(len(column_labels))
+    ]
+    lines = [title]
+    header = " " * label_width + " | " + " ".join(
+        str(c).rjust(widths[i]) for i, c in enumerate(column_labels)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cells in rows:
+        lines.append(
+            label.ljust(label_width)
+            + " | "
+            + " ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+        )
+    return "\n".join(lines)

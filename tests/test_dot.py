@@ -1,0 +1,68 @@
+"""Tests for DOT export (repro.ta.dot)."""
+
+import pytest
+
+from repro.game import Strategy, TwoPhaseSolver
+from repro.models.smartlight import smartlight_network, smartlight_plant
+from repro.semantics.system import System
+from repro.ta.dot import automaton_to_dot, network_to_dot, strategy_to_dot
+from repro.tctl import parse_query
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return smartlight_plant()
+
+
+class TestAutomatonDot:
+    def test_contains_all_locations(self, plant):
+        dot = automaton_to_dot(plant.automaton("IUT"), plant)
+        for name in ("Off", "Dim", "Bright", "L1", "L5"):
+            assert f'IUT_{name}"' in dot
+
+    def test_initial_is_doublecircle(self, plant):
+        dot = automaton_to_dot(plant.automaton("IUT"), plant)
+        off_line = [l for l in dot.splitlines() if '"IUT_Off"' in l and "shape" in l][0]
+        assert "doublecircle" in off_line
+
+    def test_invariants_in_labels(self, plant):
+        dot = automaton_to_dot(plant.automaton("IUT"), plant)
+        assert "Tp <= 2" in dot
+
+    def test_controllability_styles(self, plant):
+        dot = automaton_to_dot(plant.automaton("IUT"), plant)
+        # touch? edges are controllable (solid), outputs dashed.
+        touch_lines = [l for l in dot.splitlines() if "touch?" in l]
+        assert touch_lines and all("solid" in l for l in touch_lines)
+        dim_lines = [l for l in dot.splitlines() if "dim!" in l]
+        assert dim_lines and all("dashed" in l for l in dim_lines)
+
+    def test_valid_digraph_syntax(self, plant):
+        dot = automaton_to_dot(plant.automaton("IUT"), plant)
+        assert dot.startswith("digraph")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestNetworkDot:
+    def test_clusters_per_automaton(self):
+        dot = network_to_dot(smartlight_network())
+        assert "cluster_IUT" in dot
+        assert "cluster_User" in dot
+        assert dot.count("{") == dot.count("}")
+
+    def test_committed_locations_marked(self):
+        from repro.models.lep import lep_plant
+
+        dot = network_to_dot(lep_plant(3))
+        assert "ffdddd" in dot  # committed fill colour
+
+
+class TestStrategyDot:
+    def test_strategy_graph(self):
+        arena = System(smartlight_network())
+        result = TwoPhaseSolver(arena, parse_query("control: A<> IUT.Bright")).solve()
+        dot = strategy_to_dot(Strategy(result))
+        assert "IUT.Off" in dot
+        assert "(goal)" in dot
+        assert "touch" in dot
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,156 @@
+"""Edge-case tests: urgent locations, declaration validation, solver
+parameters, and miscellaneous small behaviours."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.expr.env import DeclarationError, Declarations
+from repro.game import OnTheFlySolver, TwoPhaseSolver
+from repro.semantics.system import System
+from repro.ta import NetworkBuilder
+from repro.tctl import parse_query
+
+
+class TestUrgentLocations:
+    def make(self):
+        net = NetworkBuilder("urgent")
+        net.clock("x")
+        net.input_channel("go")
+        net.output_channel("done")
+        p = net.automaton("P")
+        p.location("s", initial=True)
+        p.location("u", urgent=True)
+        p.location("t")
+        p.edge("s", "u", sync="go?", assign="x := 0")
+        p.edge("u", "t", sync="done!")
+        e = net.automaton("E")
+        e.location("e", initial=True)
+        e.edge("e", "e", sync="go!")
+        e.edge("e", "e", sync="done?")
+        return System(net.build())
+
+    def test_no_delay_in_urgent(self):
+        sys_ = self.make()
+        assert not sys_.can_delay((1, 0))
+        assert sys_.can_delay((0, 0))
+
+    def test_urgent_output_fires_instantly_in_game(self):
+        sys_ = self.make()
+        res = TwoPhaseSolver(sys_, parse_query("control: A<> P.t")).solve()
+        assert res.winning
+
+    def test_urgent_zone_not_delay_closed(self):
+        sys_ = self.make()
+        init = sys_.initial_symbolic()
+        go = sys_.moves_from(init.locs, init.vars)[0]
+        post = sys_.post(init, go)
+        closed = sys_.delay_closure(post)
+        # Urgent: the delay closure is the identity.
+        assert closed.zone.equals(post.zone)
+        assert not closed.zone.contains([0, Fraction(1)])
+
+
+class TestDeclarations:
+    def test_duplicate_names_rejected_across_kinds(self):
+        d = Declarations()
+        d.add_constant("k", 1)
+        with pytest.raises(DeclarationError):
+            d.add_int("k")
+        with pytest.raises(DeclarationError):
+            d.add_clock("k")
+        with pytest.raises(DeclarationError):
+            d.add_array("k", 3)
+        with pytest.raises(DeclarationError):
+            d.add_range_type("k", 0, 1)
+
+    def test_init_outside_range_rejected(self):
+        d = Declarations()
+        with pytest.raises(DeclarationError):
+            d.add_int("v", 0, 5, init=9)
+
+    def test_array_initializer_checked(self):
+        d = Declarations()
+        with pytest.raises(DeclarationError):
+            d.add_array("a", 2, 0, 1, init=[0, 7])
+        with pytest.raises(DeclarationError):
+            d.add_array("b", 2, 0, 1, init=[0])
+        with pytest.raises(DeclarationError):
+            d.add_array("c", 0, 0, 1)
+
+    def test_empty_range_type_rejected(self):
+        d = Declarations()
+        with pytest.raises(DeclarationError):
+            d.add_range_type("R", 3, 2)
+
+    def test_state_to_dict(self):
+        d = Declarations()
+        d.add_int("v", 0, 9, init=4)
+        d.add_array("a", 2, 0, 5, init=[1, 2])
+        view = d.state_to_dict(d.initial_state())
+        assert view == {"v": 4, "a": [1, 2]}
+
+    def test_clock_indices_one_based(self):
+        d = Declarations()
+        assert d.add_clock("x") == 1
+        assert d.add_clock("y") == 2
+        assert d.clock_index("y") == 2
+        assert d.clock_index("nope") is None
+        assert d.dbm_dim == 3
+
+
+class TestSolverParameters:
+    @pytest.mark.parametrize("wave_size", [1, 2, 16, 256])
+    def test_wave_size_does_not_change_verdict(self, wave_size):
+        from repro.models.smartlight import smartlight_network
+
+        sys_ = System(smartlight_network())
+        solver = OnTheFlySolver(sys_, parse_query("control: A<> IUT.Bright"))
+        result = solver.solve(wave_size=wave_size)
+        assert result.winning
+
+    def test_time_limit_raises(self):
+        from repro.graph import ExplorationLimit
+        from repro.models.lep import TP2, lep_network
+
+        sys_ = System(lep_network(5))
+        solver = TwoPhaseSolver(sys_, parse_query(TP2), time_limit=0.05)
+        with pytest.raises(ExplorationLimit):
+            solver.solve()
+
+    def test_max_nodes_raises(self):
+        from repro.graph import ExplorationLimit
+        from repro.models.lep import TP2, lep_network
+
+        sys_ = System(lep_network(4))
+        solver = TwoPhaseSolver(sys_, parse_query(TP2), max_nodes=10)
+        with pytest.raises(ExplorationLimit):
+            solver.solve()
+
+
+class TestDelayInterval:
+    def test_pick_closed(self):
+        from repro.semantics.system import DelayInterval
+
+        i = DelayInterval(Fraction(2), False, Fraction(4), False)
+        assert i.pick() == 2
+
+    def test_pick_open_bounded(self):
+        from repro.semantics.system import DelayInterval
+
+        i = DelayInterval(Fraction(2), True, Fraction(4), False)
+        assert i.pick() == 3
+        assert i.contains(i.pick())
+
+    def test_pick_open_unbounded(self):
+        from repro.semantics.system import DelayInterval
+
+        i = DelayInterval(Fraction(2), True, None, False)
+        assert i.pick() == 3
+
+    def test_empty_detection(self):
+        from repro.semantics.system import DelayInterval
+
+        assert DelayInterval(Fraction(3), False, Fraction(2), False).is_empty()
+        assert DelayInterval(Fraction(2), True, Fraction(2), False).is_empty()
+        assert not DelayInterval(Fraction(2), False, Fraction(2), False).is_empty()

@@ -1,0 +1,139 @@
+"""Tests for strategy serialization (repro.game.export) — future work 2."""
+
+import json
+
+import pytest
+
+from repro.game import (
+    PackedStrategy,
+    Strategy,
+    StrategyFormatError,
+    TwoPhaseSolver,
+    Verdictish,
+    strategy_from_dict,
+    strategy_to_dict,
+)
+from repro.game.export import (
+    dbm_from_list,
+    dbm_to_list,
+    federation_from_obj,
+    federation_to_obj,
+    load_strategy,
+    model_fingerprint,
+    save_strategy,
+)
+from repro.models.smartlight import smartlight_network, smartlight_plant
+from repro.semantics.system import System
+from repro.tctl import parse_query
+from repro.testing import LazyPolicy, RandomPolicy, SimulatedImplementation, execute_test
+from repro.testing.trace import PASS
+
+from tests.zone_strategies import box
+
+
+@pytest.fixture(scope="module")
+def strategy():
+    arena = System(smartlight_network())
+    result = TwoPhaseSolver(arena, parse_query("control: A<> IUT.Bright")).solve()
+    return Strategy(result)
+
+
+class TestZoneCodec:
+    def test_dbm_round_trip(self):
+        zone = box(3, [(1, 5), (2, 4)])
+        assert dbm_from_list(3, dbm_to_list(zone)).equals(zone)
+
+    def test_dbm_wrong_size(self):
+        with pytest.raises(StrategyFormatError):
+            dbm_from_list(3, [0, 1, 2])
+
+    def test_federation_round_trip(self):
+        from repro.dbm import Federation
+
+        fed = Federation(3, [box(3, [(0, 1), (0, 9)]), box(3, [(4, 6), (0, 9)])])
+        restored = federation_from_obj(3, federation_to_obj(fed))
+        assert restored.equals(fed)
+
+    def test_federation_compacted_on_save(self):
+        from repro.dbm import Federation
+
+        fed = Federation(3, [box(3, [(0, 4), (0, 9)]), box(3, [(4, 8), (0, 9)]),
+                             box(3, [(2, 6), (0, 9)])])
+        obj = federation_to_obj(fed)
+        assert len(obj) == 2  # the middle zone is covered by the others
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = model_fingerprint(System(smartlight_network()))
+        b = model_fingerprint(System(smartlight_network()))
+        assert a == b
+
+    def test_differs_for_mutants(self):
+        from repro.testing.mutants import widen_invariant
+
+        original = model_fingerprint(System(smartlight_plant()))
+        mutated = model_fingerprint(
+            System(widen_invariant(smartlight_plant(), "IUT", "L1", 1))
+        )
+        assert original != mutated
+
+
+class TestRoundTrip:
+    def test_json_serializable(self, strategy):
+        blob = json.dumps(strategy_to_dict(strategy))
+        assert len(blob) > 100
+
+    def test_packed_matches_original_decisions(self, strategy):
+        from fractions import Fraction
+
+        system = System(smartlight_network())
+        packed = strategy_from_dict(system, strategy_to_dict(strategy))
+        assert packed.size == strategy.size
+        probes = [
+            system.initial_concrete(),
+            system.initial_concrete().delayed(Fraction(1)),
+            system.initial_concrete().delayed(Fraction(25)),
+        ]
+        for state in probes:
+            original = strategy.decide(state)
+            restored = packed.decide(state)
+            assert original.kind == restored.kind
+            assert original.delay == restored.delay
+            if original.kind == Verdictish.FIRE:
+                assert original.move.label == restored.move.label
+
+    def test_packed_strategy_executes(self, strategy):
+        packed = strategy_from_dict(
+            System(smartlight_network()), strategy_to_dict(strategy)
+        )
+        for policy in (LazyPolicy(), RandomPolicy(3)):
+            imp = SimulatedImplementation(System(smartlight_plant()), policy)
+            run = execute_test(packed, System(smartlight_plant()), imp)
+            assert run.verdict == PASS, str(run)
+
+    def test_file_round_trip(self, strategy, tmp_path):
+        path = tmp_path / "bright.strategy.json"
+        save_strategy(strategy, path)
+        packed = load_strategy(System(smartlight_network()), path)
+        assert isinstance(packed, PackedStrategy)
+        assert packed.size == strategy.size
+
+
+class TestValidation:
+    def test_rejects_wrong_model(self, strategy):
+        data = strategy_to_dict(strategy)
+        with pytest.raises(StrategyFormatError):
+            strategy_from_dict(System(smartlight_plant()), data)
+
+    def test_rejects_tampered_fingerprint(self, strategy):
+        data = strategy_to_dict(strategy)
+        data["fingerprint"] = "0" * 16
+        with pytest.raises(StrategyFormatError):
+            strategy_from_dict(System(smartlight_network()), data)
+
+    def test_rejects_unknown_format(self, strategy):
+        data = strategy_to_dict(strategy)
+        data["format"] = 99
+        with pytest.raises(StrategyFormatError):
+            strategy_from_dict(System(smartlight_network()), data)

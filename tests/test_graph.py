@@ -1,0 +1,246 @@
+"""Tests for zone-graph exploration and plain reachability."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dbm import Federation
+from repro.graph import (
+    ExplorationLimit,
+    SimulationGraph,
+    check_invariant,
+    check_reachable,
+)
+from repro.semantics.system import System
+from repro.ta import NetworkBuilder
+from repro.tctl import GoalPredicate, parse_query
+
+
+def counter_model(limit=3):
+    """A single automaton counting paced ticks up to a limit."""
+    net = NetworkBuilder("counter")
+    net.clock("t")
+    net.int_var("c", 0, 10)
+    net.internal_channel("tick")
+    a = net.automaton("A")
+    a.location("run", initial=True)
+    a.edge("run", "run", guard=f"t >= 1 && c < {limit}", assign="t := 0, c := c + 1")
+    return net.build()
+
+
+def branching_model():
+    net = NetworkBuilder("branch")
+    net.clock("x")
+    net.input_channel("go")
+    net.output_channel("left", "right")
+    plant = net.automaton("P")
+    plant.location("start", initial=True)
+    plant.location("mid", invariant="x <= 5")
+    plant.location("L")
+    plant.location("R")
+    plant.edge("start", "mid", sync="go?", assign="x := 0")
+    plant.edge("mid", "L", guard="x >= 1", sync="left!")
+    plant.edge("mid", "R", guard="x >= 2", sync="right!")
+    env = net.automaton("E")
+    env.location("e", initial=True)
+    env.edge("e", "e", sync="go!")
+    env.edge("e", "e", sync="left?")
+    env.edge("e", "e", sync="right?")
+    return net.build()
+
+
+class TestExplorer:
+    def test_counter_graph_size(self):
+        sys_ = System(counter_model(3))
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        # One node per counter value (zones subsumed per discrete state).
+        assert graph.node_count == 4
+        assert graph.edge_count == 3
+
+    def test_initial_zone_delay_closed(self):
+        sys_ = System(counter_model())
+        graph = SimulationGraph(sys_)
+        assert graph.initial.zone.contains([0, Fraction(50)])
+
+    def test_edges_record_moves(self):
+        sys_ = System(branching_model())
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        labels = {e.move.label for n in graph.nodes for e in n.out_edges}
+        assert labels == {"go", "left", "right"}
+
+    def test_in_edges_symmetric(self):
+        sys_ = System(branching_model())
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        for node in graph.nodes:
+            for edge in node.out_edges:
+                assert edge in edge.target.in_edges
+
+    def test_max_nodes_limit(self):
+        sys_ = System(counter_model(10))
+        graph = SimulationGraph(sys_, max_nodes=3)
+        with pytest.raises(ExplorationLimit):
+            graph.explore_all()
+
+    def test_subsumption_folds_smaller_zones(self):
+        # Re-reaching `run` with c fixed explores one node per c only.
+        sys_ = System(counter_model(2))
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        keys = [n.key for n in graph.nodes]
+        assert len(keys) == len(set(keys))
+
+
+class TestReachability:
+    def predicate(self, sys_, text):
+        goal = GoalPredicate(sys_, parse_query("E<> " + text).predicate)
+        return goal.federation
+
+    def test_reachable_counter_value(self):
+        sys_ = System(counter_model(3))
+        assert check_reachable(sys_, self.predicate(sys_, "c == 3"))
+        assert not check_reachable(sys_, self.predicate(sys_, "c == 4"))
+
+    def test_reachability_with_clock_constraint(self):
+        sys_ = System(counter_model(3))
+        # c == 2 while t still small: reachable right after the second tick.
+        assert check_reachable(sys_, self.predicate(sys_, "c == 2 && t < 1"))
+
+    def test_unreachable_clock_constraint(self):
+        sys_ = System(counter_model(3))
+        # Each tick needs t >= 1, so c == 1 with t arbitrarily large is fine
+        # but c == 1 can never happen before time 1 overall... the zone after
+        # the first tick has t reset, so t < 1 && c == 1 IS reachable.
+        assert check_reachable(sys_, self.predicate(sys_, "c == 1 && t < 1"))
+
+    def test_trace_returned(self):
+        sys_ = System(counter_model(2))
+        result = check_reachable(
+            sys_, self.predicate(sys_, "c == 2"), with_trace=True
+        )
+        assert result.holds
+        assert len(result.trace) == 2
+        # The counting edges carry no sync, so they are internal moves.
+        assert all(move.label == "tau" for move, _ in result.trace)
+
+    def test_invariant_holds(self):
+        sys_ = System(counter_model(3))
+        assert check_invariant(sys_, self.predicate(sys_, "c <= 3"))
+
+    def test_invariant_violated(self):
+        sys_ = System(counter_model(3))
+        result = check_invariant(sys_, self.predicate(sys_, "c <= 2"))
+        assert not result.holds
+
+    def test_branching_outputs_reachable(self):
+        sys_ = System(branching_model())
+        assert check_reachable(sys_, self.predicate(sys_, "P.L"))
+        assert check_reachable(sys_, self.predicate(sys_, "P.R"))
+
+
+class TestGoalFederations:
+    def test_location_predicate(self):
+        sys_ = System(branching_model())
+        goal = GoalPredicate(sys_, parse_query("E<> P.mid").predicate)
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        hits = [n for n in graph.nodes if not goal.federation(n.sym).is_empty()]
+        assert len(hits) == 1
+
+    def test_clock_constrained_goal(self):
+        sys_ = System(branching_model())
+        goal = GoalPredicate(sys_, parse_query("E<> P.mid && x > 3").predicate)
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        mid = [n for n in graph.nodes if n.sym.locs[0] == 1][0]
+        fed = goal.federation(mid.sym)
+        assert fed.contains([0, Fraction(4), Fraction(4)])
+        assert not fed.contains([0, Fraction(2), Fraction(2)])
+
+    def test_negated_clock_goal(self):
+        sys_ = System(branching_model())
+        goal = GoalPredicate(sys_, parse_query("E<> P.mid && !(x == 3)").predicate)
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        mid = [n for n in graph.nodes if n.sym.locs[0] == 1][0]
+        fed = goal.federation(mid.sym)
+        assert not fed.contains([0, Fraction(3), Fraction(3)])
+        assert fed.contains([0, Fraction(2), Fraction(2)])
+        assert fed.contains([0, Fraction(4), Fraction(4)])
+
+    def test_disjunctive_goal(self):
+        sys_ = System(branching_model())
+        goal = GoalPredicate(sys_, parse_query("E<> P.L || P.R").predicate)
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        hits = [n for n in graph.nodes if not goal.federation(n.sym).is_empty()]
+        assert len(hits) == 2
+
+    def test_imply_goal(self):
+        sys_ = System(counter_model(2))
+        goal = GoalPredicate(
+            sys_, parse_query("E<> (c == 2) imply (t >= 0)").predicate
+        )
+        graph = SimulationGraph(sys_)
+        graph.explore_all()
+        # Implication with false antecedent is true everywhere.
+        first = graph.initial
+        assert goal.federation(first.sym).includes(
+            Federation.from_zone(first.zone)
+        )
+
+
+class TestDeadlocks:
+    def test_smartlight_deadlock_free(self):
+        from repro.graph import find_deadlocks
+        from repro.models.smartlight import smartlight_network
+
+        sys_ = System(smartlight_network())
+        assert find_deadlocks(sys_) == []
+
+    def test_lep_deadlock_free(self):
+        from repro.graph import find_deadlocks
+        from repro.models.lep import lep_network
+
+        sys_ = System(lep_network(3))
+        assert find_deadlocks(sys_) == []
+
+    def test_detects_invariant_timelock(self):
+        from fractions import Fraction
+        from repro.graph import find_deadlocks
+
+        net = NetworkBuilder("lock")
+        net.clock("x")
+        net.output_channel("out")
+        p = net.automaton("P")
+        p.location("s", invariant="x <= 2", initial=True)
+        p.location("t")
+        # The only exit is disabled exactly at the boundary.
+        p.edge("s", "t", guard="x < 2", sync="out!")
+        e = net.automaton("E")
+        e.location("e", initial=True)
+        e.edge("e", "e", sync="out?")
+        deadlocks = find_deadlocks(System(net.build()))
+        assert deadlocks
+        node, stuck = deadlocks[0]
+        assert stuck.contains([0, Fraction(2)])
+
+    def test_boundary_exit_is_not_deadlock(self):
+        from repro.graph import find_deadlocks
+
+        net = NetworkBuilder("ok")
+        net.clock("x")
+        net.output_channel("out")
+        p = net.automaton("P")
+        p.location("s", invariant="x <= 2", initial=True)
+        p.location("t")
+        p.edge("s", "t", guard="x <= 2", sync="out!")
+        e = net.automaton("E")
+        e.location("e", initial=True)
+        e.edge("e", "e", sync="out?")
+        # Fireable at the boundary itself: no deadlock in location s.
+        stuck_nodes = [n for n, _ in find_deadlocks(System(net.build()))
+                       if n.sym.locs[0] == 0]
+        assert stuck_nodes == []

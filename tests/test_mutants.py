@@ -1,0 +1,151 @@
+"""Tests for the mutation framework (repro.testing.mutants)."""
+
+import pytest
+
+from repro.models.smartlight import smartlight_plant
+from repro.semantics.system import System
+from repro.testing.mutants import (
+    MutationError,
+    add_spurious_edge,
+    clone_network,
+    drop_edge,
+    find_edges,
+    retarget_edge,
+    shift_guard_constant,
+    swap_output_channel,
+    widen_invariant,
+)
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        original = smartlight_plant()
+        clone = clone_network(original)
+        clone.automaton("IUT").edges.pop()
+        assert len(original.automaton("IUT").edges) != len(
+            clone.automaton("IUT").edges
+        )
+
+    def test_clone_preserves_structure(self):
+        original = smartlight_plant()
+        clone = clone_network(original).prepare()
+        assert len(clone.automaton("IUT").edges) == len(
+            original.automaton("IUT").edges
+        )
+        assert clone.initial_locations() == original.initial_locations()
+
+    def test_clone_renames(self):
+        clone = clone_network(smartlight_plant(), "-x")
+        assert clone.name.endswith("-x")
+
+
+class TestSelectors:
+    def test_find_by_sync(self):
+        edges = find_edges(smartlight_plant(), sync="dim!")
+        assert len(edges) == 2  # L1 -> Dim and L5 -> Dim
+
+    def test_find_by_source_and_sync(self):
+        edges = find_edges(smartlight_plant(), source="L5", sync="bright!")
+        assert len(edges) == 1
+
+    def test_find_by_target(self):
+        edges = find_edges(smartlight_plant(), target="Bright")
+        assert len(edges) == 3  # from L5, L2, L6
+
+    def test_no_match_raises_in_operators(self):
+        with pytest.raises(MutationError):
+            drop_edge(smartlight_plant(), source="Nowhere")
+
+
+class TestOperators:
+    def test_shift_guard(self):
+        mutant = shift_guard_constant(
+            smartlight_plant(), -1, automaton="IUT", source="Off", target="L5"
+        )
+        aut, pos = find_edges(mutant, source="Off", target="L5")[0]
+        guard_text = str(aut.edges[pos].guard)
+        assert "Tidle - 1" in guard_text
+
+    def test_shift_guard_requires_guard(self):
+        with pytest.raises(MutationError):
+            shift_guard_constant(
+                smartlight_plant(), 1, automaton="IUT", source="Bright"
+            )
+
+    def test_widen_invariant(self):
+        mutant = widen_invariant(smartlight_plant(), "IUT", "L1", 2)
+        loc = mutant.automaton("IUT").locations["L1"]
+        assert "4" in str(loc.invariant)
+
+    def test_widen_invariant_requires_invariant(self):
+        with pytest.raises(MutationError):
+            widen_invariant(smartlight_plant(), "IUT", "Off", 2)
+
+    def test_retarget(self):
+        mutant = retarget_edge(
+            smartlight_plant(), "Off", automaton="IUT", source="L2", sync="bright!"
+        )
+        aut, pos = find_edges(mutant, source="L2", sync="bright!")[0]
+        assert aut.edges[pos].target == "Off"
+
+    def test_retarget_unknown_location(self):
+        with pytest.raises(MutationError):
+            retarget_edge(
+                smartlight_plant(), "Nowhere", automaton="IUT", source="L2"
+            )
+
+    def test_swap_output(self):
+        mutant = swap_output_channel(
+            smartlight_plant(), "off", automaton="IUT", source="L1", sync="dim!"
+        )
+        aut, pos = find_edges(mutant, source="L1", target="Dim")[0]
+        assert aut.edges[pos].sync == ("off", "!")
+
+    def test_swap_unknown_channel(self):
+        with pytest.raises(MutationError):
+            swap_output_channel(
+                smartlight_plant(), "nosuch", automaton="IUT", source="L1"
+            )
+
+    def test_drop_edge(self):
+        original_count = len(smartlight_plant().automaton("IUT").edges)
+        mutant = drop_edge(
+            smartlight_plant(), automaton="IUT", source="L2", sync="bright!"
+        )
+        assert len(mutant.automaton("IUT").edges) == original_count - 1
+
+    def test_add_spurious_edge(self):
+        mutant = add_spurious_edge(
+            smartlight_plant(),
+            "IUT",
+            "Off",
+            "Bright",
+            guard="x >= 1",
+            sync="bright!",
+        )
+        assert find_edges(mutant, source="Off", target="Bright")
+
+    def test_mutants_are_runnable(self):
+        """Every operator yields a loadable, executable network."""
+        mutants = [
+            shift_guard_constant(
+                smartlight_plant(), 1, automaton="IUT", source="Off", target="L5"
+            ),
+            widen_invariant(smartlight_plant(), "IUT", "L1", 1),
+            retarget_edge(
+                smartlight_plant(), "Dim", automaton="IUT", source="L2",
+                sync="bright!",
+            ),
+            swap_output_channel(
+                smartlight_plant(), "dim", automaton="IUT", source="L2",
+                sync="bright!",
+            ),
+            drop_edge(smartlight_plant(), automaton="IUT", source="L3", sync="off!"),
+            add_spurious_edge(
+                smartlight_plant(), "IUT", "Dim", "Bright", sync="bright!"
+            ),
+        ]
+        for mutant in mutants:
+            sys_ = System(mutant)
+            init = sys_.initial_symbolic()
+            assert init is not None

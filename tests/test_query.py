@@ -1,0 +1,64 @@
+"""Tests for TCTL query parsing (repro.tctl.query)."""
+
+import pytest
+
+from repro.expr.parser import ParseError
+from repro.tctl import (
+    INVARIANT,
+    REACH,
+    REACH_GAME,
+    SAFETY_GAME,
+    parse_query,
+)
+
+
+class TestParseQuery:
+    def test_control_reachability(self):
+        q = parse_query("control: A<> IUT.Bright")
+        assert q.kind == REACH_GAME
+        assert q.is_game
+        assert str(q.predicate) == "IUT.Bright"
+
+    def test_control_safety(self):
+        q = parse_query("control: A[] safe == 1")
+        assert q.kind == SAFETY_GAME
+        assert q.is_game
+
+    def test_plain_reachability(self):
+        q = parse_query("E<> x > 3")
+        assert q.kind == REACH
+        assert not q.is_game
+
+    def test_plain_invariant(self):
+        q = parse_query("A[] c <= 2")
+        assert q.kind == INVARIANT
+
+    def test_whitespace_tolerance(self):
+        q = parse_query("  control:   A <>   IUT.Bright ")
+        assert q.kind == REACH_GAME
+
+    def test_paper_tp1(self):
+        q = parse_query("control: A<> (IUT.betterInfo == 1) and IUT.forward")
+        assert q.kind == REACH_GAME
+
+    def test_paper_tp2(self):
+        q = parse_query("control: A<> forall (i : BufferId) (inUse[i] == 1)")
+        assert q.kind == REACH_GAME
+
+    def test_paper_tp3(self):
+        q = parse_query(
+            "control: A<> forall (i : BufferId) (inUse[i] == 1) and IUT.idle"
+        )
+        assert q.kind == REACH_GAME
+
+    def test_unsupported_form_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("A<> eventually")
+        with pytest.raises(ParseError):
+            parse_query("E[] x > 1")
+        with pytest.raises(ParseError):
+            parse_query("control: E<> x > 1")
+
+    def test_source_preserved(self):
+        text = "control: A<> IUT.Bright"
+        assert str(parse_query(text)) == text

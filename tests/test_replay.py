@@ -1,0 +1,90 @@
+"""Tests for offline trace replay (repro.testing.replay)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.models.smartlight import smartlight_plant
+from repro.semantics.system import System
+from repro.testing.replay import parse_trace, replay_trace
+from repro.testing.trace import TimedTrace
+
+
+@pytest.fixture()
+def spec():
+    return System(smartlight_plant())
+
+
+class TestParseTrace:
+    def test_round_trip(self):
+        trace = TimedTrace()
+        trace.add_delay(Fraction(5, 2))
+        trace.add_action("touch", "input")
+        trace.add_delay(Fraction(1))
+        trace.add_action("dim", "output")
+        assert str(parse_trace(str(trace))) == str(trace)
+
+    def test_empty(self):
+        assert len(parse_trace("")) == 0
+        assert len(parse_trace("<empty>")) == 0
+
+    def test_fractions(self):
+        trace = parse_trace("5/2 . touch?")
+        assert trace.steps[0].delay == Fraction(5, 2)
+
+
+class TestReplay:
+    def test_conforming_trace(self, spec):
+        result = replay_trace(spec, parse_trace("1 . touch? . dim! . 1 . touch? . 2 . bright!"))
+        assert result.conformant, str(result)
+
+    def test_long_idle_then_bright(self, spec):
+        result = replay_trace(spec, parse_trace("25 . touch? . 2 . bright!"))
+        assert result.conformant
+
+    def test_wrong_output_detected(self, spec):
+        # Quick touch pends dim!, not bright!.
+        result = replay_trace(spec, parse_trace("1 . touch? . bright!"))
+        assert not result.conformant
+        assert result.violating_step == "bright!"
+        assert "bright" in result.violation
+
+    def test_late_output_detected(self, spec):
+        result = replay_trace(spec, parse_trace("1 . touch? . 3 . dim!"))
+        assert not result.conformant
+        assert "quiescent" in result.violation
+        assert result.steps_consumed == 2
+
+    def test_spontaneous_output_detected(self, spec):
+        result = replay_trace(spec, parse_trace("5 . dim!"))
+        assert not result.conformant
+
+    def test_boundary_output_ok(self, spec):
+        result = replay_trace(spec, parse_trace("1 . touch? . 2 . dim!"))
+        assert result.conformant
+
+    def test_empty_trace_conformant(self, spec):
+        assert replay_trace(spec, TimedTrace())
+
+    def test_replay_of_executor_traces(self, spec):
+        """Every trace the executor produces on conforming IMPs replays
+        as conformant — the online and offline checkers agree."""
+        from repro.game import Strategy, TwoPhaseSolver
+        from repro.models.smartlight import smartlight_network
+        from repro.tctl import parse_query
+        from repro.testing import (
+            LazyPolicy,
+            RandomPolicy,
+            SimulatedImplementation,
+            execute_test,
+        )
+
+        arena = System(smartlight_network())
+        strategy = Strategy(
+            TwoPhaseSolver(arena, parse_query("control: A<> IUT.Bright")).solve()
+        )
+        for policy in (LazyPolicy(), RandomPolicy(2), RandomPolicy(9)):
+            imp = SimulatedImplementation(System(smartlight_plant()), policy)
+            run = execute_test(strategy, System(smartlight_plant()), imp)
+            assert run.passed
+            assert replay_trace(System(smartlight_plant()), run.trace)

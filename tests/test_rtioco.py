@@ -1,0 +1,107 @@
+"""Tests for the environment-relativized monitor (repro.testing.rtioco)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.models.smartlight import smartlight_network
+from repro.semantics.system import System
+from repro.ta import NetworkBuilder
+from repro.testing.rtioco import RelativizedMonitor
+
+
+def restricted_env_network():
+    """A plant that may reply fast! or slow!, but whose environment model
+    only listens for fast! — rtioco rejects slow! where tioco would not."""
+    net = NetworkBuilder("restricted")
+    net.clock("x")
+    net.input_channel("req")
+    net.output_channel("fast", "slow")
+    p = net.automaton("P")
+    p.location("idle", initial=True)
+    p.location("work", invariant="x <= 4")
+    p.edge("idle", "work", sync="req?", assign="x := 0")
+    p.edge("work", "idle", guard="x >= 1", sync="fast!")
+    p.edge("work", "idle", guard="x >= 2", sync="slow!")
+    e = net.automaton("E")
+    e.location("e", initial=True)
+    e.edge("e", "e", sync="req!")
+    e.edge("e", "e", sync="fast?")  # never listens for slow!
+    return net.build()
+
+
+@pytest.fixture()
+def monitor():
+    return RelativizedMonitor(System(smartlight_network()))
+
+
+class TestSmartLight:
+    def test_initial_quiescence_unbounded(self, monitor):
+        assert monitor.max_quiescence().bound is None
+
+    def test_input_via_move(self, monitor):
+        spec = monitor.spec
+        monitor.advance(Fraction(2))
+        touch = [
+            m for m in spec.moves_from(monitor.state.locs, monitor.state.vars)
+            if m.label == "touch"
+        ][0]
+        assert monitor.observe_move(touch)
+        assert monitor.allowed_outputs() == ["dim"]
+
+    def test_output_checked(self, monitor):
+        spec = monitor.spec
+        monitor.advance(Fraction(2))
+        touch = [
+            m for m in spec.moves_from(monitor.state.locs, monitor.state.vars)
+            if m.label == "touch"
+        ][0]
+        monitor.observe_move(touch)
+        assert not monitor.observe_output("bright")
+        assert "rtioco" in monitor.violation
+
+    def test_quiescence_bound_enforced(self, monitor):
+        spec = monitor.spec
+        monitor.advance(Fraction(2))
+        touch = [
+            m for m in spec.moves_from(monitor.state.locs, monitor.state.vars)
+            if m.label == "touch"
+        ][0]
+        monitor.observe_move(touch)
+        assert not monitor.advance(Fraction(3))
+
+    def test_reset(self, monitor):
+        monitor.advance(Fraction(2))
+        monitor.observe_output("dim")
+        assert not monitor.ok
+        monitor.reset()
+        assert monitor.ok
+
+
+class TestEnvironmentRestriction:
+    def test_env_restriction_rejects_plant_allowed_output(self):
+        """slow! conforms to the plant alone but not to plant ∥ env."""
+        sys_ = System(restricted_env_network())
+        monitor = RelativizedMonitor(sys_)
+        req = [
+            m for m in sys_.moves_from(monitor.state.locs, monitor.state.vars)
+            if m.label == "req"
+        ][0]
+        assert monitor.observe_move(req)
+        monitor.advance(Fraction(2))
+        # The plant spec allows slow! at x == 2; the environment cannot
+        # receive it, so under rtioco it is a violation.
+        assert not monitor.observe_output("slow")
+        assert "rtioco" in monitor.violation
+
+    def test_fast_accepted(self):
+        sys_ = System(restricted_env_network())
+        monitor = RelativizedMonitor(sys_)
+        req = [
+            m for m in sys_.moves_from(monitor.state.locs, monitor.state.vars)
+            if m.label == "req"
+        ][0]
+        monitor.observe_move(req)
+        monitor.advance(Fraction(1))
+        assert monitor.observe_output("fast")
+        assert monitor.ok

@@ -1,0 +1,189 @@
+"""Tests for safety games: ``control: A[] φ`` (repro.game.safety)."""
+
+import pytest
+
+from repro.game import GameError, solve_safety_game
+from repro.game.safety import SafetyGameSolver
+from repro.semantics.system import System
+from repro.ta import NetworkBuilder
+from repro.tctl import parse_query
+
+
+def avoidance_game(trap_guard="w >= 3", save_guard="w >= 1"):
+    """The plant moves to a trap from ``trap_guard``; the controller can
+    move the game to a safe haven from ``save_guard``."""
+    net = NetworkBuilder("avoid")
+    net.clock("w")
+    net.input_channel("save")
+    net.output_channel("spoil")
+    p = net.automaton("P")
+    p.location("a", initial=True)
+    p.location("haven")
+    p.location("trap")
+    p.edge("a", "haven", guard=save_guard, sync="save?")
+    p.edge("a", "trap", guard=trap_guard, sync="spoil!")
+    e = net.automaton("E")
+    e.location("e", initial=True)
+    e.edge("e", "e", sync="save!")
+    e.edge("e", "e", sync="spoil?")
+    return net.build()
+
+
+def forced_bad_game():
+    """An invariant forces the plant into the trap: nothing to be done."""
+    net = NetworkBuilder("doomed")
+    net.clock("w")
+    net.output_channel("boom")
+    p = net.automaton("P")
+    p.location("a", invariant="w <= 2", initial=True)
+    p.location("trap")
+    p.edge("a", "trap", guard="w >= 1", sync="boom!")
+    e = net.automaton("E")
+    e.location("e", initial=True)
+    e.edge("e", "e", sync="boom?")
+    return net.build()
+
+
+class TestSafetyGames:
+    def test_controller_can_avoid_trap(self):
+        sys_ = System(avoidance_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] !P.trap"))
+        assert res.winning
+
+    def test_unavoidable_trap(self):
+        # The plant can spoil from w >= 0; the controller's save needs
+        # w >= 1, and even acting at w == 1 ties with the spoiler.
+        sys_ = System(avoidance_game(trap_guard="w >= 0"))
+        res = solve_safety_game(sys_, parse_query("control: A[] !P.trap"))
+        assert not res.winning
+
+    def test_forced_transition_to_bad(self):
+        sys_ = System(forced_bad_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] !P.trap"))
+        assert not res.winning
+
+    def test_vacuous_safety(self):
+        sys_ = System(avoidance_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] w >= 0"))
+        assert res.winning
+
+    def test_initially_violated(self):
+        sys_ = System(avoidance_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] P.haven"))
+        assert not res.winning
+
+    def test_clock_bound_safety_losing(self):
+        # Keeping w <= 5 forever is impossible: time diverges and no edge
+        # resets w.
+        sys_ = System(avoidance_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] w <= 5"))
+        assert not res.winning
+
+    def test_safe_sets_within_zones(self):
+        from repro.dbm import Federation
+
+        sys_ = System(avoidance_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] !P.trap"))
+        for node in res.graph.nodes:
+            assert Federation.from_zone(node.zone).includes(res.safe_of(node))
+
+    def test_wrong_kind_rejected(self):
+        sys_ = System(avoidance_game())
+        with pytest.raises(GameError):
+            SafetyGameSolver(sys_, parse_query("control: A<> P.haven"))
+
+
+class TestSmartLightSafety:
+    def test_light_never_stuck_longer_than_window(self):
+        """The tester can keep the light from ever being Bright —
+        by simply never touching long-idle: A[] !IUT.Bright is winnable."""
+        from repro.models.smartlight import smartlight_network
+
+        sys_ = System(smartlight_network())
+        res = solve_safety_game(sys_, parse_query("control: A[] !IUT.Bright"))
+        assert res.winning
+
+    def test_cannot_avoid_all_outputs_after_touch(self):
+        """Once touched from Off, some transient location is entered and
+        an output is forced: A[] IUT.Off is not winnable... but the
+        controller can simply never touch, so it IS winnable."""
+        from repro.models.smartlight import smartlight_network
+
+        sys_ = System(smartlight_network())
+        res = solve_safety_game(sys_, parse_query("control: A[] IUT.Off"))
+        assert res.winning
+
+
+class TestSafetyStrategy:
+    def simulate(self, net_factory, purpose, seed, max_steps=40):
+        """Play the safety strategy against a random adversarial plant;
+        returns True if the run stayed safe throughout."""
+        import random
+        from fractions import Fraction
+
+        from repro.game import SafetyStrategy, solve_safety_game
+        from repro.game.strategy import Verdictish
+
+        sys_ = System(net_factory())
+        res = solve_safety_game(sys_, parse_query(purpose))
+        assert res.winning
+        strategy = SafetyStrategy(res)
+        rng = random.Random(seed)
+        state = sys_.initial_concrete()
+        for _ in range(max_steps):
+            decision = strategy.decide(state)
+            if decision.kind == Verdictish.LOST:
+                return False
+            if decision.kind == Verdictish.FIRE:
+                nxt = sys_.fire(state, decision.move)
+                if nxt is None:
+                    return False
+                state = nxt
+                continue
+            horizon = decision.delay
+            bound, _ = sys_.max_delay(state)
+            if horizon is None:
+                horizon = bound if bound is not None else Fraction(5)
+            if bound is not None and horizon > bound:
+                horizon = bound
+            # Opponent may strike at any legal time before the horizon.
+            options = []
+            for move in sys_.moves_from(state.locs, state.vars):
+                if move.controllable:
+                    continue
+                interval = sys_.enabled_interval(state, move)
+                if interval is None:
+                    continue
+                at = interval.pick()
+                if at <= horizon:
+                    options.append((move, at))
+            if options and rng.random() < 0.7:
+                move, at = rng.choice(options)
+                nxt = sys_.fire(state.delayed(at), move)
+                if nxt is None:
+                    return False
+                state = nxt
+            else:
+                state = state.delayed(horizon)
+        return True
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_avoidance_strategy_stays_safe(self, seed):
+        assert self.simulate(avoidance_game, "control: A[] !P.trap", seed)
+
+    def test_strategy_requires_won_game(self):
+        from repro.game import SafetyStrategy, solve_safety_game
+
+        sys_ = System(forced_bad_game())
+        res = solve_safety_game(sys_, parse_query("control: A[] !P.trap"))
+        assert not res.winning
+        with pytest.raises(ValueError):
+            SafetyStrategy(res)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_traingate_exclusion_strategy(self, seed):
+        from repro.models.traingate import exclusion_purpose, traingate_network
+
+        assert self.simulate(
+            lambda: traingate_network(2), exclusion_purpose(2), seed, max_steps=25
+        )

@@ -1,0 +1,130 @@
+"""Symbolic and concrete semantics must agree.
+
+Random concrete runs of the Smart Light and LEP systems are mirrored
+symbolically: after any concrete run, the reached valuation must lie in
+the zone of the corresponding symbolic path, and enabledness of moves
+must match between ``enabled_interval`` (concrete) and nonempty ``post``
+(symbolic).  This pins the two halves of `repro.semantics` — and
+therefore the solver and the executor — to each other.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.models.lep import lep_network
+from repro.models.smartlight import smartlight_network
+from repro.semantics.state import SymbolicState
+from repro.semantics.system import System
+
+
+def random_run(system, seed, steps=12):
+    """A random concrete run; returns [(state, move-or-delay), ...]."""
+    rng = random.Random(seed)
+    state = system.initial_concrete()
+    history = [state]
+    for _ in range(steps):
+        moves = system.moves_from(state.locs, state.vars)
+        enabled = []
+        for move in moves:
+            interval = system.enabled_interval(state, move)
+            if interval is not None:
+                enabled.append((move, interval))
+        act = enabled and rng.random() < 0.7
+        if act:
+            move, interval = rng.choice(enabled)
+            at = interval.pick()
+            nxt = system.fire(state.delayed(at), move)
+            if nxt is None:
+                continue
+            state = nxt
+        else:
+            bound, strict = system.max_delay(state)
+            d = Fraction(rng.randint(1, 4), 2)
+            if bound is not None and d > bound:
+                d = bound
+            state = state.delayed(d)
+        history.append(state)
+    return history
+
+
+MODELS = [
+    ("smartlight", smartlight_network),
+    ("lep3", lambda: lep_network(3)),
+]
+
+
+@pytest.mark.parametrize("name,factory", MODELS)
+@pytest.mark.parametrize("seed", range(6))
+def test_concrete_runs_stay_in_reachable_zones(name, factory, seed):
+    """Every concrete state reached lies inside some simulation-graph
+    node's zone for its discrete state."""
+    from repro.graph import SimulationGraph
+
+    system = System(factory())
+    graph = SimulationGraph(system)
+    graph.explore_all()
+    by_key = {}
+    for node in graph.nodes:
+        by_key.setdefault(node.key, []).append(node)
+    for state in random_run(system, seed):
+        candidates = by_key.get(state.key, [])
+        assert any(
+            node.zone.contains(state.clocks) for node in candidates
+        ), f"{name}: concrete state escaped all zones at {state.locs}"
+
+
+@pytest.mark.parametrize("name,factory", MODELS)
+@pytest.mark.parametrize("seed", range(6))
+def test_enabledness_matches_symbolic_post(name, factory, seed):
+    """If a move fires concretely, the symbolic post from a zone
+    containing the state is nonempty — and vice versa for zero-delay."""
+    system = System(factory())
+    for state in random_run(system, seed, steps=8):
+        sym = SymbolicState(
+            state.locs, state.vars, _point_zone(system, state)
+        )
+        for move in system.moves_from(state.locs, state.vars):
+            interval = system.enabled_interval(state, move)
+            fires_now = interval is not None and interval.contains(Fraction(0))
+            post = system.post(sym, move)
+            assert fires_now == (post is not None), (
+                f"{name}: concrete/symbolic enabledness mismatch on"
+                f" {move.label} at {state}"
+            )
+
+
+def _point_zone(system, state):
+    """The singleton zone {clocks} — valuations are half-integers, so we
+    use the doubled-constants trick: constrain x_i - x_j both ways with
+    the exact rational difference if integral, else bracket by strict
+    bounds half a unit apart (sound for enabledness because all model
+    constants are integers)."""
+    from repro.dbm import DBM
+
+    dim = system.dim
+    zone = DBM.universal(dim)
+    for i in range(1, dim):
+        vi = state.clocks[i]
+        if vi.denominator == 1:
+            zone = zone.constrained(
+                [(i, 0, (vi.numerator << 1) | 1), (0, i, ((-vi.numerator) << 1) | 1)]
+            )
+        else:  # strictly between adjacent integers
+            lo = vi.numerator // vi.denominator
+            zone = zone.constrained(
+                [(i, 0, (lo + 1) << 1), (0, i, (-lo) << 1)]
+            )
+    for i in range(1, dim):
+        for j in range(1, dim):
+            if i == j:
+                continue
+            diff = state.clocks[i] - state.clocks[j]
+            if diff.denominator == 1:
+                zone = zone.tighten(i, j, (diff.numerator << 1) | 1)
+            else:
+                hi = diff.numerator // diff.denominator + 1
+                zone = zone.tighten(i, j, hi << 1)
+    assert zone.contains(state.clocks)
+    return zone

@@ -1,0 +1,131 @@
+"""Tests for the tioco conformance monitor (repro.testing.tioco)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.models.lep import lep_plant
+from repro.models.smartlight import smartlight_plant
+from repro.semantics.system import System
+from repro.testing import Quiescence, TiocoMonitor
+
+
+@pytest.fixture()
+def monitor():
+    return TiocoMonitor(System(smartlight_plant()))
+
+
+class TestQuiescence:
+    def test_unbounded(self):
+        q = Quiescence(None, False)
+        assert q.allows(Fraction(10**6))
+
+    def test_bounded_inclusive(self):
+        q = Quiescence(Fraction(2), False)
+        assert q.allows(Fraction(2))
+        assert not q.allows(Fraction(5, 2))
+
+    def test_bounded_strict(self):
+        q = Quiescence(Fraction(2), True)
+        assert q.allows(Fraction(3, 2))
+        assert not q.allows(Fraction(2))
+
+
+class TestMonitorBasics:
+    def test_initial_quiescence_unbounded(self, monitor):
+        # In Off the light may stay silent forever.
+        assert monitor.max_quiescence().bound is None
+
+    def test_no_outputs_allowed_in_off(self, monitor):
+        assert monitor.allowed_outputs() == []
+
+    def test_input_accepted(self, monitor):
+        assert monitor.observe("touch", "input")
+        assert monitor.ok
+
+    def test_advance_then_input(self, monitor):
+        assert monitor.advance(Fraction(25))
+        assert monitor.observe("touch", "input")
+        # Long idle: reactivation pending in L5 — both outputs possible.
+        assert set(monitor.allowed_outputs()) == {"bright", "dim"}
+
+    def test_quick_touch_only_dim(self, monitor):
+        assert monitor.advance(Fraction(5))
+        assert monitor.observe("touch", "input")
+        assert monitor.allowed_outputs() == ["dim"]
+
+    def test_quiescence_bounded_in_transient(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")
+        q = monitor.max_quiescence()
+        assert q.bound == 2 and not q.strict
+
+    def test_wrong_output_fails(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")  # -> L1, only dim! allowed
+        assert not monitor.observe("bright", "output")
+        assert not monitor.ok
+        assert "bright" in monitor.violation
+
+    def test_too_long_quiescence_fails(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")  # L1: output forced by Tp <= 2
+        assert not monitor.advance(Fraction(3))
+        assert not monitor.ok
+        assert "quiescent" in monitor.violation
+
+    def test_exact_boundary_quiescence_ok(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")
+        assert monitor.advance(Fraction(2))
+        assert monitor.observe("dim", "output")
+
+    def test_correct_run_passes(self, monitor):
+        assert monitor.advance(Fraction(1))
+        assert monitor.observe("touch", "input")
+        assert monitor.advance(Fraction(1))
+        assert monitor.observe("dim", "output")
+        assert monitor.advance(Fraction(1))
+        assert monitor.observe("touch", "input")
+        assert monitor.advance(Fraction(2))
+        assert monitor.observe("bright", "output")
+        assert monitor.ok
+
+    def test_reset(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")
+        monitor.observe("bright", "output")
+        assert not monitor.ok
+        monitor.reset()
+        assert monitor.ok
+        assert monitor.max_quiescence().bound is None
+
+    def test_failed_monitor_stays_failed(self, monitor):
+        monitor.advance(Fraction(5))
+        monitor.observe("touch", "input")
+        monitor.observe("bright", "output")
+        assert not monitor.advance(Fraction(1))
+        assert not monitor.observe("dim", "output")
+
+
+class TestMonitorWithCommittedSpec:
+    def test_settles_internal_processing(self):
+        monitor = TiocoMonitor(System(lep_plant(3)))
+        # Deliver a useful message: the spec passes through committed rcv.
+        monitor.spec.decls  # touch the system to ensure it's built
+        # Set msgAddr via the recv input: in the plant-only model the
+        # variable is assigned by the buffer, which is outside the open
+        # system; simulate by pre-setting the variable.
+        state = monitor.state
+        decls = monitor.spec.decls
+        msg_slot = decls.int_vars["msgAddr"].slot
+        vars_with_msg = list(state.vars)
+        vars_with_msg[msg_slot] = 1
+        from repro.semantics.state import ConcreteState
+
+        monitor.state = ConcreteState(state.locs, tuple(vars_with_msg), state.clocks)
+        assert monitor.observe("recv", "input")
+        # After settling, the IUT is in forward (msgAddr 1 < best 3).
+        iut = monitor.spec.network.automaton("IUT")
+        assert monitor.state.locs[0] == iut.location_index("forward")
+        assert monitor.ok

@@ -1,0 +1,79 @@
+"""Tests for the train-gate case study (safety games in anger)."""
+
+import pytest
+
+from repro.game import solve_reachability_game, solve_safety_game
+from repro.game.cooperative import solve_cooperative
+from repro.graph import check_reachable
+from repro.models.traingate import (
+    crossing_purpose,
+    exclusion_purpose,
+    traingate_network,
+)
+from repro.semantics.system import System
+from repro.tctl import GoalPredicate, parse_query
+
+
+@pytest.fixture(scope="module")
+def gate2():
+    return System(traingate_network(2))
+
+
+class TestModel:
+    def test_purpose_strings(self):
+        assert exclusion_purpose(2) == "control: A[] !(Train0.Cross && Train1.Cross)"
+        assert crossing_purpose(1) == "control: A<> Train1.Cross"
+
+    def test_three_train_purpose_has_all_pairs(self):
+        text = exclusion_purpose(3)
+        assert text.count("!(") == 3
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            traingate_network(0)
+
+    def test_crossing_reachable_plainly(self, gate2):
+        goal = GoalPredicate(gate2, parse_query("E<> Train0.Cross").predicate)
+        assert check_reachable(gate2, goal.federation)
+
+    def test_collision_reachable_without_control(self, gate2):
+        """An unmanaged gate CAN produce a collision — the hazard the
+        controller must prevent exists in the arena."""
+        goal = GoalPredicate(
+            gate2, parse_query("E<> Train0.Cross && Train1.Cross").predicate
+        )
+        assert check_reachable(gate2, goal.federation)
+
+
+class TestGames:
+    def test_exclusion_safety_winning(self, gate2):
+        res = solve_safety_game(gate2, parse_query(exclusion_purpose(2)),
+                                time_limit=120)
+        assert res.winning
+
+    def test_crossing_not_forceable(self, gate2):
+        """The tester cannot force an uncontrollable train to approach:
+        the reachability purpose has no winning strategy."""
+        res = solve_reachability_game(
+            gate2, parse_query(crossing_purpose(0)), time_limit=120
+        )
+        assert not res.winning
+
+    def test_crossing_cooperatively_reachable(self, gate2):
+        coop = solve_cooperative(gate2, parse_query(crossing_purpose(0)),
+                                 time_limit=120)
+        assert coop.goal_reachable
+
+    def test_single_train_exclusion_trivial(self):
+        sys_ = System(traingate_network(1))
+        # With one train the exclusion conjunction is empty -> use a
+        # simple always-true invariant instead.
+        res = solve_safety_game(sys_, parse_query("control: A[] x0 >= 0"))
+        assert res.winning
+
+    def test_safe_sets_nonempty_everywhere_relevant(self, gate2):
+        res = solve_safety_game(gate2, parse_query(exclusion_purpose(2)),
+                                time_limit=120)
+        init = res.graph.initial
+        start = gate2.initial_concrete()
+        assert res.safe_of(init).contains(start.clocks)

@@ -1,0 +1,49 @@
+"""Shared hypothesis strategies and zone helpers for the test suite."""
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.dbm import DBM, Federation, le
+
+DIM = 4  # three clocks
+
+
+def box(dim, bounds):
+    """Zone from per-clock (lo, hi) inclusive integer bounds."""
+    constraints = []
+    for i, (lo, hi) in enumerate(bounds, start=1):
+        constraints.append((i, 0, le(hi)))
+        constraints.append((0, i, le(-lo)))
+    return DBM.from_constraints(dim, constraints)
+
+
+@st.composite
+def zones(draw, dim=DIM, max_constraints=6, lo=-8, hi=12):
+    """Random zones built from random constraints (may be empty)."""
+    n_constraints = draw(st.integers(0, max_constraints))
+    zone = DBM.universal(dim)
+    for _ in range(n_constraints):
+        i = draw(st.integers(0, dim - 1))
+        j = draw(st.integers(0, dim - 1))
+        if i == j:
+            continue
+        value = draw(st.integers(lo, hi))
+        strict = draw(st.booleans())
+        zone = zone.tighten(i, j, (value << 1) | (0 if strict else 1))
+    return zone
+
+
+@st.composite
+def points(draw, dim=DIM, hi=24):
+    """Random half-integer clock valuations."""
+    vals = [Fraction(0)]
+    for _ in range(dim - 1):
+        vals.append(Fraction(draw(st.integers(0, hi)), 2))
+    return vals
+
+
+@st.composite
+def federations(draw, dim=DIM, max_zones=3):
+    count = draw(st.integers(0, max_zones))
+    return Federation(dim, [draw(zones(dim)) for _ in range(count)])
