@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Fuzzing the solvers: a guided tour of :mod:`repro.gen`.
+
+The paper evaluates on three hand-built case studies; ``repro.gen`` mass
+produces new ones.  This example
+
+1. generates a few instances from each scenario family and shows their
+   shape, structural hash, and game verdict;
+2. runs the full differential oracle (solver cross-check, symbolic vs
+   concrete semantics, tioco/rtioco self-conformance) on a small
+   campaign, exactly like ``python -m repro.gen.cli`` does;
+3. demonstrates shrinking on an artificially injected disagreement.
+
+Run:  python examples/fuzz_solvers.py
+"""
+
+from repro import System, TwoPhaseSolver, parse_query
+from repro.gen import generate_instance, run_campaign, shrink_instance
+from repro.gen.differential import CHECKS, FAIL, OK, CheckResult, DiffConfig
+from repro.gen.networks import DEFAULT_FAMILIES
+
+
+def tour_families() -> None:
+    print("=== scenario families ===")
+    for family in DEFAULT_FAMILIES:
+        for seed in range(2):
+            instance = generate_instance(seed, family)
+            result = TwoPhaseSolver(
+                System(instance.arena), parse_query(instance.query)
+            ).solve()
+            verdict = "controllable" if result.winning else "uncontrollable"
+            print(f"  {instance.describe()}")
+            print(
+                f"      hash={instance.structural_hash()[:12]}"
+                f"  nodes={result.nodes_explored}  verdict={verdict}"
+            )
+
+
+def small_campaign() -> None:
+    print("\n=== differential campaign (30 instances) ===")
+    summary = run_campaign(
+        count=30,
+        seed=0,
+        diff_config=DiffConfig(sim_runs=1, sim_steps=20, conf_steps=15),
+        zone_trials=10,
+    )
+    print(summary.format())
+
+
+def demonstrate_shrinking() -> None:
+    """Inject a fake 'bug' that fires on any network with an invariant,
+    then watch the shrinker strip the instance down around it."""
+    print("\n=== shrinking a (synthetic) disagreement ===")
+
+    def fake_check(instance, cfg):
+        invariants = sum(
+            1
+            for aut in instance.spec.automata
+            for loc in aut.locations
+            if loc.invariant is not None
+        )
+        edges = sum(len(aut.edges) for aut in instance.spec.automata)
+        instance.arena  # the reproducer must still build
+        if invariants:
+            return CheckResult(
+                "fake", FAIL, f"{invariants} invariants, {edges} edges"
+            )
+        return CheckResult("fake", OK)
+
+    CHECKS["fake"] = fake_check
+    try:
+        instance = generate_instance(11, "chain")
+        print(f"  original: {instance.describe()}")
+        shrunk = shrink_instance(instance, "fake")
+        print(f"  shrunk:   {shrunk.describe()}")
+        print(
+            "  edges:"
+            f" {sum(len(a.edges) for a in instance.spec.automata)} ->"
+            f" {sum(len(a.edges) for a in shrunk.spec.automata)},"
+            " same seed, same failure"
+        )
+    finally:
+        del CHECKS["fake"]
+
+
+if __name__ == "__main__":
+    tour_families()
+    small_campaign()
+    demonstrate_shrinking()

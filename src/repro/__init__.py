@@ -66,4 +66,8 @@ from .testing import (
 )
 from .testing.trace import FAIL, INCONCLUSIVE, PASS, TestRun, TimedTrace
 
-__version__ = "1.0.0"
+# Random model generation + differential testing (kept last: it builds on
+# every layer above).
+from . import gen  # noqa: E402  (cycle-safe: repro core is fully loaded)
+
+__version__ = "1.1.0"

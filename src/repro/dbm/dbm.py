@@ -333,14 +333,45 @@ class DBM:
                     return False
         return True
 
+    def _feasible_interval(self, point, x):
+        """The feasible interval of clock ``x`` given fixed clocks ``< x``.
+
+        Returns ``(lo, lo_strict, hi, hi_strict)``; ``hi`` None means
+        unbounded.  Nonempty by the triangle inequality on canonical DBMs
+        (the standard point-construction argument).
+        """
+        from fractions import Fraction
+
+        lo = Fraction(0)
+        lo_strict = False
+        hi: Optional[Fraction] = None
+        hi_strict = False
+        for j in range(0, x):
+            vj = point[j]
+            # x_j - x ≺ m[j, x]  ->  x ≥/> v_j - b
+            enc = int(self.m[j, x])
+            if enc < INF:
+                value, strict = decode(enc)
+                cand = vj - value
+                if cand > lo or (cand == lo and strict and not lo_strict):
+                    lo, lo_strict = cand, strict
+            # x - x_j ≺ m[x, j]  ->  x ≤/< v_j + b
+            enc = int(self.m[x, j])
+            if enc < INF:
+                value, strict = decode(enc)
+                cand = vj + value
+                if hi is None or cand < hi or (
+                    cand == hi and strict and not hi_strict
+                ):
+                    hi, hi_strict = cand, strict
+        return lo, lo_strict, hi, hi_strict
+
     def sample(self):
         """Some rational point of the zone (None if empty).
 
-        Uses the standard point-construction argument for canonical DBMs:
-        fix clocks left to right; by the triangle inequality the feasible
-        interval for each next clock (w.r.t. the already-fixed ones) is
-        nonempty.  Prefers the lowest feasible value; takes midpoints at
-        strict boundaries.
+        Fixes clocks left to right inside their feasible intervals.
+        Prefers the lowest feasible value; takes midpoints at strict
+        boundaries.
         """
         from fractions import Fraction
 
@@ -348,28 +379,7 @@ class DBM:
             return None
         point: List[Fraction] = [Fraction(0)] * self.dim
         for x in range(1, self.dim):
-            lo = Fraction(0)
-            lo_strict = False
-            hi: Optional[Fraction] = None
-            hi_strict = False
-            for j in range(0, x):
-                vj = point[j]
-                # x_j - x ≺ m[j, x]  ->  x ≥/> v_j - b
-                enc = int(self.m[j, x])
-                if enc < INF:
-                    value, strict = decode(enc)
-                    cand = vj - value
-                    if cand > lo or (cand == lo and strict and not lo_strict):
-                        lo, lo_strict = cand, strict
-                # x - x_j ≺ m[x, j]  ->  x ≤/< v_j + b
-                enc = int(self.m[x, j])
-                if enc < INF:
-                    value, strict = decode(enc)
-                    cand = vj + value
-                    if hi is None or cand < hi or (
-                        cand == hi and strict and not hi_strict
-                    ):
-                        hi, hi_strict = cand, strict
+            lo, lo_strict, hi, _hi_strict = self._feasible_interval(point, x)
             if not lo_strict:
                 point[x] = lo
             elif hi is None:
@@ -378,6 +388,40 @@ class DBM:
                 point[x] = (lo + hi) / 2
         if not self.contains(point):  # pragma: no cover - safety net
             raise AssertionError("DBM.sample produced an external point")
+        return point
+
+    def sample_random(self, rng):
+        """A random rational point of the zone (None if empty).
+
+        Same construction as :meth:`sample`, but each clock is drawn
+        uniformly from the quarter-integer grid of its feasible interval
+        instead of pinned to the lower corner — better coverage for
+        randomized membership cross-checks.  ``rng`` is a
+        ``random.Random``; the result is deterministic per seed.
+        """
+        from fractions import Fraction
+
+        if self._empty:
+            return None
+        point: List[Fraction] = [Fraction(0)] * self.dim
+        for x in range(1, self.dim):
+            lo, lo_strict, hi, hi_strict = self._feasible_interval(point, x)
+            top = lo + 4 if hi is None else hi
+            grid = [
+                q
+                for k in range(int((top - lo) * 4) + 1)
+                if (q := lo + Fraction(k, 4)) is not None
+                and (q > lo or not lo_strict)
+                and (hi is None or q < hi or (q == hi and not hi_strict))
+            ]
+            if grid:
+                point[x] = rng.choice(grid)
+            elif hi is None:
+                point[x] = lo + 1
+            else:
+                point[x] = (lo + hi) / 2
+        if not self.contains(point):  # pragma: no cover - safety net
+            raise AssertionError("DBM.sample_random produced an external point")
         return point
 
     # ------------------------------------------------------------------

@@ -97,6 +97,12 @@ class Federation:
             return None
         return self.zones[0].sample()
 
+    def sample_random(self, rng):
+        """A random rational point of a random member zone (None if empty)."""
+        if not self.zones:
+            return None
+        return rng.choice(self.zones).sample_random(rng)
+
     def includes(self, other: "Federation") -> bool:
         """Exact set inclusion ``other ⊆ self``."""
         for zone in other.zones:

@@ -1,0 +1,8 @@
+"""``python -m repro.gen`` is a shorthand for ``python -m repro.gen.cli``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Differential fuzzing CLI: ``python -m repro.gen.cli --count 200 --seed 0``.
+
+Generates instances round-robin over the scenario families and runs the
+differential oracle checks of :mod:`repro.gen.differential` on each, plus
+a batch of zone-algebra trials.  Exit code 0 means zero disagreements;
+any disagreement is printed with its reproducing seed, family, structural
+hash, and (unless ``--no-shrink``) a shrunk reproducer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .differential import CHECKS, DiffConfig, run_campaign
+from .networks import DEFAULT_FAMILIES, GenConfig
+
+
+def _parse_list(value: str, known, what: str) -> List[str]:
+    names = [part.strip() for part in value.split(",") if part.strip()]
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"unknown {what} {name!r}; known: {', '.join(known)}"
+            )
+    if not names:
+        raise SystemExit(f"no {what} selected")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gen.cli",
+        description="Differentially fuzz the solvers, semantics, and"
+        " conformance monitors on random timed I/O game networks.",
+    )
+    parser.add_argument("--count", type=int, default=50, help="instances to run")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--families",
+        default=",".join(DEFAULT_FAMILIES),
+        help=f"comma-separated families (default: all of {', '.join(DEFAULT_FAMILIES)})",
+    )
+    parser.add_argument(
+        "--checks",
+        default=",".join(CHECKS),
+        help=f"comma-separated checks (default: {', '.join(CHECKS)})",
+    )
+    parser.add_argument(
+        "--zone-trials", type=int, default=40, help="zone-algebra trials"
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=4000,
+        help="exploration budget per solver (larger instances are skipped)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=30, help="steps per simulated run"
+    )
+    parser.add_argument(
+        "--no-fixpoint",
+        action="store_true",
+        help="skip the per-node fixpoint re-check (faster)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="report failures unshrunk"
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true", help="stop at the first disagreement"
+    )
+    parser.add_argument(
+        "--max-locations",
+        type=int,
+        default=None,
+        help="override GenConfig.max_locations (scaling experiments)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    families = _parse_list(args.families, DEFAULT_FAMILIES, "family")
+    checks = _parse_list(args.checks, CHECKS, "check")
+    gen_config = GenConfig()
+    if args.max_locations is not None:
+        gen_config = gen_config.scaled(max_locations=args.max_locations)
+    diff_config = DiffConfig(
+        max_nodes=args.max_nodes,
+        sim_steps=args.steps,
+        conf_steps=args.steps,
+        check_fixpoint=not args.no_fixpoint,
+    )
+    started = time.monotonic()
+    done = 0
+
+    def progress(report) -> None:
+        nonlocal done
+        done += 1
+        if args.verbose:
+            status = "ok" if report.ok else "FAIL"
+            print(f"[{done}/{args.count}] {status} {report.description}")
+        elif done % 25 == 0:
+            print(f"... {done}/{args.count} instances", file=sys.stderr)
+
+    summary = run_campaign(
+        count=args.count,
+        seed=args.seed,
+        families=families,
+        gen_config=gen_config,
+        diff_config=diff_config,
+        checks=checks,
+        zone_trials=args.zone_trials,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+        on_report=progress,
+    )
+    elapsed = time.monotonic() - started
+    print(summary.format(verbose=False))
+    print(f"elapsed: {elapsed:.1f}s")
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

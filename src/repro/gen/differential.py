@@ -1,0 +1,605 @@
+"""The differential oracle harness over generated instances.
+
+For every generated instance the harness cross-checks independent
+implementations of the same mathematical object against each other — no
+hand-written expected outputs, only internal consistency:
+
+``solvers``
+    :class:`TwoPhaseSolver` and :class:`OnTheFlySolver` must return the
+    same verdict; the on-the-fly winning federations (an intentional
+    under-approximation when it stops early) must be included in the
+    exhaustive two-phase ones per discrete state, with exact equality
+    required on lost games (both converge to the full fixpoint); and the
+    two-phase winning sets must be a genuine fixpoint of the documented
+    update equation.
+
+``semantics``
+    Random concrete (`Fraction`-exact) runs are replayed against the
+    symbolic zone semantics step by step: every delayed state must stay
+    inside the delay-closed zone, every fired transition must land inside
+    the symbolic ``post``, and a refused concrete transition must also be
+    refused symbolically.
+
+``conformance``
+    A plant must conform to itself: a :class:`SimulatedImplementation`
+    interpreting the plant (under eager / lazy / random output policies)
+    is monitored by a :class:`TiocoMonitor` of the same plant and a
+    :class:`RelativizedMonitor` of the plant composed with the permissive
+    environment.  The paper's relativization collapses to plain tioco
+    under a universal environment, so *any* reported violation by either
+    monitor is a real disagreement between the interpreter and a monitor.
+
+Failing instances are shrunk greedily at the spec level (drop edges,
+clear guards/invariants/assignments) while re-running only the failing
+check, and reported with the reproducing seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..dbm import Federation
+from ..game.solver import GameResult, OnTheFlySolver, TwoPhaseSolver
+from ..graph.explorer import ExplorationLimit
+from ..semantics.state import ConcreteState
+from ..semantics.system import DelayInterval, System
+from ..tctl.query import parse_query
+from ..testing import (
+    EagerPolicy,
+    LazyPolicy,
+    RandomPolicy,
+    RelativizedMonitor,
+    SimulatedImplementation,
+    SpecNondeterminism,
+    TiocoMonitor,
+)
+from .networks import (
+    DEFAULT_FAMILIES,
+    GenConfig,
+    GeneratedInstance,
+    NetSpec,
+    generate_instance,
+)
+from .zones import check_zone_algebra
+
+OK, SKIP, FAIL = "ok", "skip", "fail"
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """Effort knobs of the differential checks."""
+
+    max_nodes: int = 4000
+    time_limit: Optional[float] = None
+    sim_runs: int = 2
+    sim_steps: int = 30
+    conf_steps: int = 25
+    check_fixpoint: bool = True
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    status: str  # 'ok' | 'skip' | 'fail'
+    detail: str = ""
+
+
+@dataclass
+class InstanceReport:
+    seed: int
+    family: str
+    structural_hash: str
+    description: str
+    results: List[CheckResult] = field(default_factory=list)
+    shrunk: Optional[str] = None  # description of the shrunk reproducer
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if r.status == FAIL]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Check: solvers
+# ----------------------------------------------------------------------
+
+
+def _win_by_key(result: GameResult) -> Dict[tuple, Federation]:
+    """Per discrete state, the union of node winning federations."""
+    out: Dict[tuple, Federation] = {}
+    for node in result.graph.nodes:
+        win = result.win_of(node)
+        if win.is_empty():
+            continue
+        key = node.sym.key
+        out[key] = out[key].union(win) if key in out else win
+    return out
+
+
+def check_solvers(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    query = parse_query(instance.query)
+    system = System(instance.arena)
+    try:
+        two_solver = TwoPhaseSolver(
+            system, query, max_nodes=cfg.max_nodes, time_limit=cfg.time_limit
+        )
+        two = two_solver.solve()
+        otf = OnTheFlySolver(
+            system, query, max_nodes=cfg.max_nodes, time_limit=cfg.time_limit
+        ).solve()
+    except ExplorationLimit as limit:
+        return CheckResult("solvers", SKIP, str(limit))
+    if two.winning != otf.winning:
+        return CheckResult(
+            "solvers",
+            FAIL,
+            f"verdicts differ: two-phase={two.winning} on-the-fly={otf.winning}",
+        )
+    two_map = _win_by_key(two)
+    otf_map = _win_by_key(otf)
+    for key, fed in otf_map.items():
+        reference = two_map.get(key)
+        if reference is None or not reference.includes(fed):
+            return CheckResult(
+                "solvers",
+                FAIL,
+                f"on-the-fly win set at {key} not included in two-phase win",
+            )
+    if not two.winning:
+        # Both ran the backward fixpoint to convergence on the fully
+        # explored graph, so the per-state winning sets must coincide.
+        for key, fed in two_map.items():
+            reference = otf_map.get(key)
+            if reference is None or not reference.includes(fed):
+                return CheckResult(
+                    "solvers",
+                    FAIL,
+                    f"two-phase win set at {key} missing from converged"
+                    f" on-the-fly win",
+                )
+    if cfg.check_fixpoint:
+        for node in two.graph.nodes:
+            recomputed = two_solver._update(node)
+            current = two_solver.win_fed(node)
+            if not current.includes(recomputed):
+                return CheckResult(
+                    "solvers", FAIL, f"win set of node {node.id} not a fixpoint"
+                )
+            if not recomputed.includes(current):
+                return CheckResult(
+                    "solvers", FAIL, f"win set of node {node.id} shrinks on re-update"
+                )
+    return CheckResult("solvers", OK)
+
+
+# ----------------------------------------------------------------------
+# Check: symbolic vs concrete semantics
+# ----------------------------------------------------------------------
+
+
+def _random_delay(
+    rng: random.Random,
+    interval: DelayInterval,
+    bound: Optional[Fraction],
+    bound_strict: bool,
+) -> Optional[Fraction]:
+    """A random half-integer delay in ``interval`` capped by the invariant."""
+    lo, lo_strict = interval.lo, interval.lo_strict
+    hi, hi_strict = interval.hi, interval.hi_strict
+    if bound is not None and (hi is None or bound < hi):
+        hi, hi_strict = bound, bound_strict
+    if hi is not None and (lo > hi or (lo == hi and (lo_strict or hi_strict))):
+        return None
+    if hi is None:
+        hi, hi_strict = lo + 2, False
+    grid = [
+        d
+        for k in range(int((hi - lo) * 2) + 1)
+        if (d := lo + Fraction(k, 2)) is not None
+        and (d > lo or not lo_strict)
+        and (d < hi or (d == hi and not hi_strict))
+        and interval.contains(d)
+    ]
+    if grid:
+        return rng.choice(grid)
+    mid = (lo + hi) / 2
+    return mid if interval.contains(mid) else None
+
+
+def check_semantics(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    system = System(instance.arena)
+    for run in range(cfg.sim_runs):
+        rng = random.Random(instance.seed * 1_000_003 + run)
+        state = system.initial_concrete()
+        sym = system.initial_symbolic()
+        if not state.in_zone(sym.zone):
+            return CheckResult(
+                "semantics", FAIL, "initial concrete state outside initial zone"
+            )
+        for step in range(cfg.sim_steps):
+            bound, bound_strict = system.max_delay(state)
+            candidates: List[Tuple] = []
+            for move, interval in system.move_options(state):
+                delay = _random_delay(rng, interval, bound, bound_strict)
+                if delay is not None:
+                    candidates.append((move, delay))
+            if not candidates:
+                break
+            move, delay = rng.choice(candidates)
+            delayed = state.delayed(delay)
+            if not delayed.in_zone(sym.zone):
+                return CheckResult(
+                    "semantics",
+                    FAIL,
+                    f"run {run} step {step}: delay {delay} left the"
+                    f" delay-closed zone",
+                )
+            nxt = system.fire(delayed, move)
+            spost = system.post(sym, move)
+            if nxt is None:
+                if spost is not None:
+                    image = list(delayed.clocks)
+                    for clock, value in system.resets_of(move):
+                        image[clock] = Fraction(value)
+                    if (
+                        system.apply_move_vars(delayed.vars, move) == spost.vars
+                        and spost.zone.contains(image)
+                    ):
+                        return CheckResult(
+                            "semantics",
+                            FAIL,
+                            f"run {run} step {step}: concrete fire of"
+                            f" {move.label} refused but symbolic post admits"
+                            f" its image",
+                        )
+                continue
+            if spost is None:
+                return CheckResult(
+                    "semantics",
+                    FAIL,
+                    f"run {run} step {step}: fired {move.label} concretely but"
+                    f" the symbolic post is empty",
+                )
+            if spost.locs != nxt.locs or spost.vars != nxt.vars:
+                return CheckResult(
+                    "semantics",
+                    FAIL,
+                    f"run {run} step {step}: discrete successor mismatch on"
+                    f" {move.label}",
+                )
+            if not nxt.in_zone(spost.zone):
+                return CheckResult(
+                    "semantics",
+                    FAIL,
+                    f"run {run} step {step}: concrete successor of"
+                    f" {move.label} outside the symbolic post zone",
+                )
+            sym = system.delay_closure(spost)
+            state = nxt
+    return CheckResult("semantics", OK)
+
+
+# ----------------------------------------------------------------------
+# Check: tioco / rtioco self-conformance
+# ----------------------------------------------------------------------
+
+
+def _drive_self_conformance(
+    plant_sys: System,
+    arena_sys: System,
+    policy,
+    rng: random.Random,
+    steps: int,
+) -> Optional[str]:
+    """Run one self-conformance session; returns a failure detail or None."""
+    imp = SimulatedImplementation(plant_sys, policy)
+    monitor = TiocoMonitor(plant_sys)
+    relativized = RelativizedMonitor(arena_sys)
+
+    def observe_output(label: str) -> Optional[str]:
+        if not monitor.observe(label, "output"):
+            return f"tioco self-violation: {monitor.violation}"
+        if not relativized.observe_output(label):
+            return f"rtioco disagrees with tioco: {relativized.violation}"
+        return None
+
+    for _ in range(steps):
+        # Drain zero-delay scheduled outputs / internal steps first, so the
+        # implementation state is settled like the monitors'.
+        for _drain in range(32):
+            scheduled = imp.next_output()
+            if scheduled is None or scheduled.delay != 0:
+                break
+            label = imp.advance(Fraction(0))
+            if label is not None:
+                failure = observe_output(label)
+                if failure:
+                    return failure
+        else:
+            return None  # zero-delay livelock (mutant artifact): end run
+        inputs = sorted({label for _, label in monitor.enabled_now("input")})
+        if inputs and rng.random() < 0.5:
+            label = rng.choice(inputs)
+            if not imp.give_input(label):
+                return (
+                    f"implementation refused input {label} that the identical"
+                    f" specification accepts"
+                )
+            if not monitor.observe(label, "input"):
+                return f"tioco monitor refused its own input: {monitor.violation}"
+            composed = [
+                move
+                for move, _ in arena_sys.enabled_now(
+                    relativized.state, directions=("input",)
+                )
+                if move.label == label
+            ]
+            if not composed:
+                return (
+                    f"composed specification refuses input {label} under the"
+                    f" permissive environment"
+                )
+            if not relativized.observe_move(composed[0]):
+                return f"rtioco input disagreement: {relativized.violation}"
+            continue
+        scheduled = imp.next_output()
+        quiescence = monitor.max_quiescence()
+        if scheduled is not None:
+            delay = scheduled.delay
+        elif quiescence.bound is None:
+            delay = Fraction(rng.randint(1, 3))
+        elif quiescence.bound > 0:
+            delay = quiescence.bound
+            if quiescence.strict:
+                delay = quiescence.bound / 2
+        else:
+            if not inputs:
+                return None  # genuinely stuck (mutant artifact): end run
+            continue
+        label = imp.advance(delay)
+        if not monitor.advance(delay):
+            return f"tioco quiescence violation: {monitor.violation}"
+        if not relativized.advance(delay):
+            return f"rtioco quiescence disagreement: {relativized.violation}"
+        if label is not None:
+            failure = observe_output(label)
+            if failure:
+                return failure
+    return None
+
+
+def check_conformance(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    if not instance.single_plant:
+        return CheckResult(
+            "conformance", SKIP, "multi-automaton plant (open tioco undefined)"
+        )
+    plant_sys = System(instance.plant)
+    arena_sys = System(instance.arena)
+    policies = [
+        ("eager", EagerPolicy()),
+        ("lazy", LazyPolicy()),
+        ("random", RandomPolicy(instance.seed & 0xFFFF)),
+    ]
+    for index, (name, policy) in enumerate(policies):
+        rng = random.Random(instance.seed * 7919 + index)
+        try:
+            failure = _drive_self_conformance(
+                plant_sys, arena_sys, policy, rng, cfg.conf_steps
+            )
+        except SpecNondeterminism as nondet:
+            return CheckResult(
+                "conformance", SKIP, f"nondeterministic spec (mutant): {nondet}"
+            )
+        if failure:
+            return CheckResult("conformance", FAIL, f"[{name} policy] {failure}")
+    return CheckResult("conformance", OK)
+
+
+# ----------------------------------------------------------------------
+# Registry, per-instance runner, shrinking
+# ----------------------------------------------------------------------
+
+CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
+    "solvers": check_solvers,
+    "semantics": check_semantics,
+    "conformance": check_conformance,
+}
+
+
+def run_instance_checks(
+    instance: GeneratedInstance,
+    cfg: Optional[DiffConfig] = None,
+    checks: Optional[Sequence[str]] = None,
+) -> InstanceReport:
+    cfg = cfg or DiffConfig()
+    report = InstanceReport(
+        seed=instance.seed,
+        family=instance.family,
+        structural_hash=instance.structural_hash(),
+        description=instance.describe(),
+    )
+    for name in checks or CHECKS:
+        report.results.append(CHECKS[name](instance, cfg))
+    return report
+
+
+def _shrink_candidates(spec: NetSpec) -> Iterator[NetSpec]:
+    """Strictly smaller variants of a spec, most aggressive first."""
+
+    def with_automaton(index: int, aut) -> NetSpec:
+        automata = list(spec.automata)
+        automata[index] = aut
+        return replace(spec, automata=tuple(automata))
+
+    for index, aut in enumerate(spec.automata):
+        for position in range(len(aut.edges)):
+            edges = aut.edges[:position] + aut.edges[position + 1 :]
+            yield with_automaton(index, replace(aut, edges=edges))
+    for index, aut in enumerate(spec.automata):
+        for position, loc in enumerate(aut.locations):
+            if loc.invariant is not None:
+                locations = list(aut.locations)
+                locations[position] = replace(loc, invariant=None)
+                yield with_automaton(
+                    index, replace(aut, locations=tuple(locations))
+                )
+        for position, edge in enumerate(aut.edges):
+            if edge.clock_guard or edge.int_guard:
+                edges = list(aut.edges)
+                edges[position] = replace(edge, clock_guard=(), int_guard=None)
+                yield with_automaton(index, replace(aut, edges=tuple(edges)))
+            if edge.assign or edge.resets:
+                edges = list(aut.edges)
+                edges[position] = replace(edge, assign=None, resets=())
+                yield with_automaton(index, replace(aut, edges=tuple(edges)))
+
+
+def shrink_instance(
+    instance: GeneratedInstance,
+    check_name: str,
+    cfg: Optional[DiffConfig] = None,
+    max_attempts: int = 200,
+) -> GeneratedInstance:
+    """Greedy spec-level shrinking preserving failure of ``check_name``.
+
+    Checks derive all their randomness from the instance seed, which the
+    shrunk spec keeps, so a reproduced failure really is the same failure.
+    """
+    cfg = cfg or DiffConfig()
+    check = CHECKS[check_name]
+    current = instance
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate_spec in _shrink_candidates(current.spec):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            candidate = GeneratedInstance(spec=candidate_spec, config=current.config)
+            try:
+                result = check(candidate, cfg)
+            except Exception:
+                continue  # candidate broke the model: not a valid reducer
+            if result.status == FAIL:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Campaign driver (shared by the CLI and the test suite)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignSummary:
+    reports: List[InstanceReport]
+    zone_failures: List[str]
+    zone_trials: int
+
+    @property
+    def failed_reports(self) -> List[InstanceReport]:
+        return [r for r in self.reports if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_reports and not self.zone_failures
+
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """check name -> status -> count."""
+        table: Dict[str, Dict[str, int]] = {}
+        for report in self.reports:
+            for result in report.results:
+                row = table.setdefault(result.name, {OK: 0, SKIP: 0, FAIL: 0})
+                row[result.status] += 1
+        return table
+
+    def format(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        families: Dict[str, int] = {}
+        for report in self.reports:
+            families[report.family] = families.get(report.family, 0) + 1
+        lines.append(
+            f"{len(self.reports)} instances ("
+            + ", ".join(f"{fam}: {n}" for fam, n in sorted(families.items()))
+            + ")"
+        )
+        for name, row in sorted(self.counts().items()):
+            lines.append(
+                f"  {name:12s} ok={row[OK]:<4d} skip={row[SKIP]:<4d}"
+                f" fail={row[FAIL]}"
+            )
+        lines.append(
+            f"  {'zones':12s} trials={self.zone_trials}"
+            f" fail={len(self.zone_failures)}"
+        )
+        if verbose:
+            for report in self.reports:
+                status = "FAIL" if not report.ok else "ok"
+                lines.append(f"  [{status}] {report.description}")
+        for report in self.failed_reports:
+            lines.append(f"DISAGREEMENT {report.description}")
+            lines.append(f"  structural hash: {report.structural_hash}")
+            for result in report.failures:
+                lines.append(f"  {result.name}: {result.detail}")
+            lines.append(
+                f"  reproduce: generate_instance({report.seed},"
+                f" {report.family!r})"
+            )
+            if report.shrunk:
+                lines.append(f"  shrunk reproducer: {report.shrunk}")
+        for detail in self.zone_failures[:10]:
+            lines.append(f"ZONE DISAGREEMENT {detail}")
+        lines.append(
+            "verdict: "
+            + ("no disagreements found" if self.ok else "DISAGREEMENTS FOUND")
+        )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    count: int,
+    seed: int = 0,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    gen_config: Optional[GenConfig] = None,
+    diff_config: Optional[DiffConfig] = None,
+    checks: Optional[Sequence[str]] = None,
+    zone_trials: int = 40,
+    shrink: bool = True,
+    fail_fast: bool = False,
+    on_report: Optional[Callable[[InstanceReport], None]] = None,
+) -> CampaignSummary:
+    """Generate ``count`` instances and run every check on each.
+
+    Instance ``i`` has seed ``seed + i`` and family ``families[i % len]``;
+    zone-algebra trials run off ``seed`` as well, so the whole campaign is
+    reproducible from its two integers.
+    """
+    diff_config = diff_config or DiffConfig()
+    reports: List[InstanceReport] = []
+    for index in range(count):
+        family = families[index % len(families)]
+        instance = generate_instance(seed + index, family, gen_config)
+        report = run_instance_checks(instance, diff_config, checks)
+        if not report.ok and shrink:
+            failing = report.failures[0]
+            shrunk = shrink_instance(instance, failing.name, diff_config)
+            if shrunk is not instance:
+                report.shrunk = shrunk.describe()
+        reports.append(report)
+        if on_report is not None:
+            on_report(report)
+        if fail_fast and not report.ok:
+            break
+    zone_failures = check_zone_algebra(
+        random.Random(seed ^ 0x5EED5), trials=zone_trials
+    )
+    return CampaignSummary(reports, zone_failures, zone_trials)

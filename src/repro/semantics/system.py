@@ -449,6 +449,51 @@ class System:
             return None
         return interval
 
+    def move_options(
+        self,
+        state: ConcreteState,
+        *,
+        open_system: bool = False,
+        directions: Optional[Tuple[str, ...]] = None,
+    ) -> List[Tuple[Move, DelayInterval]]:
+        """Moves enabled from ``state`` after *some* legal delay.
+
+        Returns ``(move, interval)`` pairs where ``interval`` is the set of
+        delays enabling the move (guards and the source invariant).  This
+        is the shared enumeration primitive of the tioco/rtioco monitors,
+        the simulated implementations, and the random-run machinery of
+        :mod:`repro.gen`.
+        """
+        if open_system:
+            moves = self.open_moves_from(state.locs, state.vars)
+        else:
+            moves = self.moves_from(state.locs, state.vars)
+        options: List[Tuple[Move, DelayInterval]] = []
+        for move in moves:
+            if directions is not None and move.direction not in directions:
+                continue
+            interval = self.enabled_interval(state, move)
+            if interval is not None:
+                options.append((move, interval))
+        return options
+
+    def enabled_now(
+        self,
+        state: ConcreteState,
+        *,
+        open_system: bool = False,
+        directions: Optional[Tuple[str, ...]] = None,
+    ) -> List[Tuple[Move, DelayInterval]]:
+        """Moves enabled at the current instant (zero delay)."""
+        zero = Fraction(0)
+        return [
+            (move, interval)
+            for move, interval in self.move_options(
+                state, open_system=open_system, directions=directions
+            )
+            if interval.contains(zero)
+        ]
+
     def fire(self, state: ConcreteState, move: Move) -> Optional[ConcreteState]:
         """Fire a move from a concrete state (delay 0); None if disabled."""
         interval = self.enabled_interval(state, move)

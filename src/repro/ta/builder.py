@@ -21,11 +21,33 @@ Guard / invariant / assignment strings use the expression language of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from ..expr.ast import Assignment, Expr
 from ..expr.env import Declarations
 from ..expr.parser import parse_assignments, parse_expression
 from .model import INPUT, INTERNAL, OUTPUT, Automaton, Edge, ModelError, Network
+
+#: Guards/invariants accept either source strings or pre-built ASTs, so
+#: programmatic constructors (e.g. :mod:`repro.gen`) can skip the parser.
+ExprLike = Union[str, Expr]
+AssignLike = Union[str, Sequence[Assignment]]
+
+
+def _as_expression(value: Optional[ExprLike]) -> Optional[Expr]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return parse_expression(value) if value.strip() else None
+    return value
+
+
+def _as_assignments(value: Optional[AssignLike]) -> Tuple[Assignment, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return tuple(parse_assignments(value)) if value.strip() else ()
+    return tuple(value)
 
 
 def _parse_sync(sync: Optional[str]) -> Optional[Tuple[str, str]]:
@@ -51,30 +73,39 @@ class AutomatonBuilder:
     def location(
         self,
         name: str,
-        invariant: Optional[str] = None,
+        invariant: Optional[ExprLike] = None,
         *,
         initial: bool = False,
         committed: bool = False,
         urgent: bool = False,
     ) -> "AutomatonBuilder":
-        inv_expr = parse_expression(invariant) if invariant else None
         self._automaton.add_location(
-            name, inv_expr, initial=initial, committed=committed, urgent=urgent
+            name,
+            _as_expression(invariant),
+            initial=initial,
+            committed=committed,
+            urgent=urgent,
         )
         return self
+
+    def has_location(self, name: str) -> bool:
+        return name in self._automaton.locations
+
+    def location_names(self) -> List[str]:
+        return [loc.name for loc in self._automaton.location_list]
 
     def edge(
         self,
         source: str,
         target: str,
         *,
-        guard: Optional[str] = None,
+        guard: Optional[ExprLike] = None,
         sync: Optional[str] = None,
-        assign: Optional[str] = None,
+        assign: Optional[AssignLike] = None,
         controllable: bool = False,
     ) -> "AutomatonBuilder":
-        guard_expr = parse_expression(guard) if guard else None
-        assigns = tuple(parse_assignments(assign)) if assign else ()
+        guard_expr = _as_expression(guard)
+        assigns = _as_assignments(assign)
         self._automaton.add_edge(
             Edge(
                 automaton=self._automaton.name,

@@ -291,3 +291,53 @@ class Network:
         return [
             c.name for c in self.channels.values() if kind is None or c.kind == kind
         ]
+
+    def structural_text(self) -> str:
+        """A canonical plain-text description of the network's structure.
+
+        Covers declarations, channels, locations (with invariants and
+        flags), and edges (guards, syncs, assignments) in declaration
+        order.  Two structurally identical networks produce identical
+        text; used by :meth:`structural_hash` and the determinism
+        regression tests of :mod:`repro.gen`.
+        """
+        lines: List[str] = [f"network {self.name}"]
+        decls = self.decls
+        for name in sorted(decls.constants):
+            lines.append(f"const {name} = {decls.constants[name]}")
+        for name in decls.clocks:
+            lines.append(f"clock {name}")
+        for var in decls.int_vars.values():
+            lines.append(f"int {var.name} [{var.low},{var.high}] = {var.init}")
+        for arr in decls.arrays.values():
+            lines.append(
+                f"array {arr.name}[{arr.size}] [{arr.low},{arr.high}]"
+                f" = {list(arr.init)}"
+            )
+        for channel in self.channels.values():
+            lines.append(f"chan {channel.name} : {channel.kind}")
+        for automaton in self.automata:
+            lines.append(f"automaton {automaton.name} init={automaton.initial}")
+            for loc in automaton.location_list:
+                flags = "".join(
+                    flag
+                    for flag, on in (("C", loc.committed), ("U", loc.urgent))
+                    if on
+                )
+                lines.append(
+                    f"  loc {loc.name} inv=[{loc.invariant}] flags=[{flags}]"
+                )
+            for edge in automaton.edges:
+                lines.append(f"  edge {edge.describe()}")
+        return "\n".join(lines)
+
+    def structural_hash(self) -> str:
+        """A stable hex digest of :meth:`structural_text`.
+
+        Independent of ``PYTHONHASHSEED`` and of the process (sha256 over
+        the canonical text), so it can be printed in CI failures and
+        compared across runs: same generator seed ⇒ same hash.
+        """
+        import hashlib
+
+        return hashlib.sha256(self.structural_text().encode("utf-8")).hexdigest()

@@ -156,14 +156,9 @@ class SimulatedImplementation:
         self._reschedule()
 
     def _output_options(self) -> List[Tuple[Move, DelayInterval]]:
-        options = []
-        for move in self.system.open_moves_from(self.state.locs, self.state.vars):
-            if move.direction != "output" and move.direction != "internal":
-                continue
-            interval = self.system.enabled_interval(self.state, move)
-            if interval is not None:
-                options.append((move, interval))
-        return options
+        return self.system.move_options(
+            self.state, open_system=True, directions=("output", "internal")
+        )
 
     def _reschedule(self) -> None:
         options = self._output_options()
@@ -229,13 +224,13 @@ class SimulatedImplementation:
                 apply_var_updates(self.system, self.state.vars, updates),
                 self.state.clocks,
             )
-        matches = []
-        for move in self.system.open_moves_from(self.state.locs, self.state.vars):
-            if move.direction != "input" or move.label != label:
-                continue
-            interval = self.system.enabled_interval(self.state, move)
-            if interval is not None and interval.contains(Fraction(0)):
-                matches.append(move)
+        matches = [
+            move
+            for move, _ in self.system.enabled_now(
+                self.state, open_system=True, directions=("input",)
+            )
+            if move.label == label
+        ]
         if not matches:
             return False
         nxt = self.system.fire(self.state, matches[0])

@@ -54,12 +54,9 @@ class RelativizedMonitor:
             if self.spec.can_delay(self.state.locs):
                 return
             fired = False
-            for move in self.spec.moves_from(self.state.locs, self.state.vars):
-                if move.direction != "internal":
-                    continue
-                interval = self.spec.enabled_interval(self.state, move)
-                if interval is None or not interval.contains(Fraction(0)):
-                    continue
+            for move, _ in self.spec.enabled_now(
+                self.state, directions=("internal",)
+            ):
                 nxt = self.spec.fire(self.state, move)
                 if nxt is not None:
                     self.state = nxt
@@ -73,14 +70,14 @@ class RelativizedMonitor:
     # ------------------------------------------------------------------
 
     def allowed_outputs(self) -> List[str]:
-        out = set()
-        for move in self.spec.moves_from(self.state.locs, self.state.vars):
-            if move.direction != "output":
-                continue
-            interval = self.spec.enabled_interval(self.state, move)
-            if interval is not None and interval.contains(Fraction(0)):
-                out.add(move.label)
-        return sorted(out)
+        return sorted(
+            {
+                move.label
+                for move, _ in self.spec.enabled_now(
+                    self.state, directions=("output",)
+                )
+            }
+        )
 
     def max_quiescence(self) -> Quiescence:
         bound, strict = self.spec.max_delay(self.state)
@@ -120,11 +117,8 @@ class RelativizedMonitor:
     def observe_output(self, label: str) -> bool:
         if not self.ok:
             return False
-        for move in self.spec.moves_from(self.state.locs, self.state.vars):
-            if move.direction != "output" or move.label != label:
-                continue
-            interval = self.spec.enabled_interval(self.state, move)
-            if interval is None or not interval.contains(Fraction(0)):
+        for move, _ in self.spec.enabled_now(self.state, directions=("output",)):
+            if move.label != label:
                 continue
             nxt = self.spec.fire(self.state, move)
             if nxt is not None:

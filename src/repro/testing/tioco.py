@@ -69,13 +69,12 @@ class TiocoMonitor:
         for _ in range(64):
             if self.spec.can_delay(self.state.locs):
                 return
-            internal = []
-            for move in self.spec.open_moves_from(self.state.locs, self.state.vars):
-                if move.direction != "internal":
-                    continue
-                interval = self.spec.enabled_interval(self.state, move)
-                if interval is not None and interval.contains(Fraction(0)):
-                    internal.append(move)
+            internal = [
+                move
+                for move, _ in self.spec.enabled_now(
+                    self.state, open_system=True, directions=("internal",)
+                )
+            ]
             if not internal:
                 return
             if len(internal) > 1:
@@ -104,14 +103,13 @@ class TiocoMonitor:
 
     def enabled_now(self, direction: Optional[str] = None) -> List[Tuple[Move, str]]:
         """Moves enabled at the current instant (optionally by direction)."""
-        out = []
-        for move in self.spec.open_moves_from(self.state.locs, self.state.vars):
-            if direction is not None and move.direction != direction:
-                continue
-            interval = self.spec.enabled_interval(self.state, move)
-            if interval is not None and interval.contains(Fraction(0)):
-                out.append((move, move.label))
-        return out
+        directions = None if direction is None else (direction,)
+        return [
+            (move, move.label)
+            for move, _ in self.spec.enabled_now(
+                self.state, open_system=True, directions=directions
+            )
+        ]
 
     def allowed_outputs(self) -> List[str]:
         """``Out(s After σ)`` restricted to actions (paper §2.2)."""

@@ -10,7 +10,14 @@ from repro.dbm import DBM, le, lt
 from repro.dbm.bounds import INF, LE_ZERO
 
 
-from tests.zone_strategies import DIM, box, points, zones
+from tests.zone_strategies import (
+    DIM,
+    big_federations,
+    box,
+    diagonal_zones,
+    points,
+    zones,
+)
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +296,89 @@ class TestSample:
         )  # x == y == 4
         p = z.sample()
         assert p[1] == p[2] == Fraction(4)
+
+
+class TestDiagonalZones:
+    """The same semantic laws, on zones with guaranteed diagonal bands."""
+
+    @given(diagonal_zones(), points())
+    @settings(max_examples=200, deadline=None)
+    def test_up_preserves_membership_along_diagonals(self, z, p):
+        if z.contains(p):
+            for d in (Fraction(1, 2), Fraction(3)):
+                shifted = [p[0]] + [v + d for v in p[1:]]
+                assert z.up().contains(shifted)
+
+    @given(diagonal_zones(), diagonal_zones(), points())
+    @settings(max_examples=200, deadline=None)
+    def test_intersection_semantics(self, a, b, p):
+        c = a.intersect(b)
+        assert c.contains(p) == (a.contains(p) and b.contains(p))
+
+    @given(diagonal_zones(), points())
+    @settings(max_examples=200, deadline=None)
+    def test_reset_pred_exact(self, z, p):
+        pred = z.reset_pred([1])
+        mapped = list(p)
+        mapped[1] = Fraction(0)
+        assert pred.contains(p) == z.contains(mapped)
+
+    @given(diagonal_zones(), zones())
+    @settings(max_examples=150, deadline=None)
+    def test_inclusion_agrees_with_subtraction(self, a, b):
+        from repro.dbm import subtract_zone
+
+        assert a.includes(b) == (not subtract_zone(b, a))
+
+    @given(diagonal_zones())
+    @settings(max_examples=150, deadline=None)
+    def test_sample_lies_inside(self, z):
+        point = z.sample()
+        if z.is_empty():
+            assert point is None
+        else:
+            assert z.contains(point)
+
+    @given(diagonal_zones())
+    @settings(max_examples=100, deadline=None)
+    def test_sample_random_lies_inside(self, z):
+        import random
+
+        rng = random.Random(1234)
+        point = z.sample_random(rng)
+        if z.is_empty():
+            assert point is None
+        else:
+            assert z.contains(point)
+
+
+class TestBigFederations:
+    @given(big_federations(), points())
+    @settings(max_examples=150, deadline=None)
+    def test_compact_preserves_membership(self, f, p):
+        assert f.compact().contains(p) == f.contains(p)
+
+    @given(big_federations(), big_federations(), points())
+    @settings(max_examples=150, deadline=None)
+    def test_subtract_membership(self, f, g, p):
+        assert f.subtract(g).contains(p) == (f.contains(p) and not g.contains(p))
+
+    @given(big_federations(), big_federations())
+    @settings(max_examples=100, deadline=None)
+    def test_includes_agrees_with_subtraction(self, f, g):
+        assert f.includes(g) == g.subtract(f).is_empty()
+
+    @given(big_federations())
+    @settings(max_examples=100, deadline=None)
+    def test_sample_random_in_federation(self, f):
+        import random
+
+        rng = random.Random(99)
+        point = f.sample_random(rng)
+        if f.is_empty():
+            assert point is None
+        else:
+            assert f.contains(point)
 
 
 class TestPrinting:

@@ -17,7 +17,15 @@ from hypothesis import strategies as st
 from repro.dbm import DBM, Federation
 from repro.game.predt import predt, predt_mixed, up_strict
 
-from tests.zone_strategies import DIM, box, federations, points, zones
+from tests.zone_strategies import (
+    DIM,
+    big_federations,
+    box,
+    diagonal_zones,
+    federations,
+    points,
+    zones,
+)
 
 
 def shifted(p, d):
@@ -180,3 +188,38 @@ class TestPredtReference:
     def test_monotone_in_goal(self, goal, bad):
         bigger = goal.union(Federation.from_zone(box(DIM, [(1, 2)] * (DIM - 1))))
         assert predt(bigger, bad).includes(predt(goal, bad))
+
+
+class TestPredtDiagonal:
+    """Reference agreement on diagonal-constrained goals and bad sets.
+
+    Delay shifts both clocks together, so diagonal differences are delay
+    invariant; the quarter-grid reference stays exact on these shapes, and
+    they exercise the ``subtract``/``down`` paths boxes cannot reach.
+    """
+
+    @given(diagonal_zones(), diagonal_zones(), points())
+    @settings(max_examples=120, deadline=None)
+    def test_strict_matches_reference_on_diagonals(self, g, b, p):
+        goal = Federation.from_zone(g)
+        bad = Federation.from_zone(b)
+        result = predt(goal, bad, lenient=False)
+        assert result.contains(p) == reference_predt(p, goal, bad, lenient=False)
+
+    @given(big_federations(), big_federations(), points())
+    @settings(max_examples=100, deadline=None)
+    def test_lenient_matches_reference_on_big_federations(self, goal, bad, p):
+        result = predt(goal, bad, lenient=True)
+        assert result.contains(p) == reference_predt(p, goal, bad, lenient=True)
+
+    @given(big_federations(), big_federations())
+    @settings(max_examples=60, deadline=None)
+    def test_lenient_contains_strict_on_big_federations(self, goal, bad):
+        assert predt(goal, bad, lenient=True).includes(
+            predt(goal, bad, lenient=False)
+        )
+
+    @given(big_federations())
+    @settings(max_examples=60, deadline=None)
+    def test_no_bad_is_down_on_big_federations(self, goal):
+        assert predt(goal, Federation.empty(DIM)).equals(goal.down())

@@ -1,6 +1,8 @@
 """Randomized whole-solver correctness checks on generated TIOGAs.
 
-For each random small game:
+Instances come from :mod:`repro.gen` (the ``random`` scenario family, the
+generalization of the private generator this file used to carry).  For
+each random small game:
 
 * **fixpoint check** — after the solver converges, re-running the update
   on every node must not grow any winning set (the computed sets really
@@ -20,70 +22,32 @@ from fractions import Fraction
 import pytest
 
 from repro.game import OnTheFlySolver, Strategy, TwoPhaseSolver, Verdictish
+from repro.gen import generate_instance
 from repro.graph import check_reachable
 from repro.semantics.system import System
-from repro.ta import NetworkBuilder
 from repro.tctl import GoalPredicate, parse_query
+
+SEEDS = list(range(24))
 
 
 def random_game(seed: int):
-    """A random 4-location plant with one clock, plus a permissive env.
-
-    Structure kept legal by construction: guards are intervals, invariants
-    are upper bounds >= the reachable resets, the goal location is 'g3'.
-    """
-    rng = random.Random(seed)
-    net = NetworkBuilder(f"rand{seed}")
-    net.clock("x")
-    net.input_channel("i0", "i1")
-    net.output_channel("o0", "o1")
-    p = net.automaton("P")
-    names = ["g0", "g1", "g2", "g3"]
-    for idx, name in enumerate(names):
-        invariant = None
-        if idx in (1, 2) and rng.random() < 0.7:
-            invariant = f"x <= {rng.randint(2, 5)}"
-        p.location(name, invariant=invariant, initial=(idx == 0))
-    edge_count = rng.randint(4, 8)
-    for _ in range(edge_count):
-        src = rng.choice(names)
-        dst = rng.choice(names)
-        lo = rng.randint(0, 3)
-        hi = lo + rng.randint(0, 3)
-        guard = f"x >= {lo} && x <= {hi}" if rng.random() < 0.8 else None
-        channel = rng.choice(["i0", "i1", "o0", "o1"])
-        sync = f"{channel}{'?' if channel.startswith('i') else '!'}"
-        assign = "x := 0" if rng.random() < 0.6 else None
-        p.edge(src, dst, guard=guard, sync=sync, assign=assign)
-    # Make inputs harmless everywhere (ignore loops) for enabledness.
-    for name in names:
-        for channel in ("i0", "i1"):
-            p.edge(name, name, sync=f"{channel}?")
-    e = net.automaton("E")
-    e.location("e", initial=True)
-    for channel in ("i0", "i1"):
-        e.edge("e", "e", sync=f"{channel}!")
-    for channel in ("o0", "o1"):
-        e.edge("e", "e", sync=f"{channel}?")
-    return net.build()
-
-
-QUERY = "control: A<> P.g3"
-SEEDS = list(range(24))
+    """The arena and query of a generated ``random``-family instance."""
+    instance = generate_instance(seed, "random")
+    return instance.arena, parse_query(instance.query)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_solvers_agree(seed):
-    net = random_game(seed)
-    two = TwoPhaseSolver(System(net), parse_query(QUERY)).solve()
-    otf = OnTheFlySolver(System(net), parse_query(QUERY)).solve()
+    net, query = random_game(seed)
+    two = TwoPhaseSolver(System(net), query).solve()
+    otf = OnTheFlySolver(System(net), query).solve()
     assert two.winning == otf.winning, f"seed {seed}: solver verdicts differ"
 
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_winning_sets_are_a_fixpoint(seed):
-    net = random_game(seed)
-    solver = TwoPhaseSolver(System(net), parse_query(QUERY))
+    net, query = random_game(seed)
+    solver = TwoPhaseSolver(System(net), query)
     result = solver.solve()
     for node in result.graph.nodes:
         recomputed = solver._update(node)
@@ -100,8 +64,8 @@ def test_winning_sets_are_a_fixpoint(seed):
 def test_goal_inside_win_inside_zone(seed):
     from repro.dbm import Federation
 
-    net = random_game(seed)
-    solver = TwoPhaseSolver(System(net), parse_query(QUERY))
+    net, query = random_game(seed)
+    solver = TwoPhaseSolver(System(net), query)
     result = solver.solve()
     for node in result.graph.nodes:
         win = result.win_of(node)
@@ -112,15 +76,15 @@ def test_goal_inside_win_inside_zone(seed):
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_won_games_are_realizable(seed):
-    net = random_game(seed)
+    net, query = random_game(seed)
     sys_ = System(net)
-    result = TwoPhaseSolver(sys_, parse_query(QUERY)).solve()
+    result = TwoPhaseSolver(sys_, query).solve()
     if not result.winning:
         # Loss must not be a reachability artifact: if the goal is not
         # even reachable, losing is trivially right; otherwise it must
         # come from uncontrollability, which simulation cannot refute
         # cheaply — only sanity-check reachability consistency.
-        goal = GoalPredicate(sys_, parse_query("E<> P.g3").predicate)
+        goal = GoalPredicate(sys_, query.predicate)
         check_reachable(sys_, goal.federation)  # must not crash
         return
     strategy = Strategy(result)
@@ -152,11 +116,8 @@ def _simulate(sys_, strategy, sim_seed, max_steps=80):
         if bound is not None and horizon > bound:
             horizon = bound
         options = []
-        for move in sys_.moves_from(state.locs, state.vars):
+        for move, interval in sys_.move_options(state):
             if move.controllable:
-                continue
-            interval = sys_.enabled_interval(state, move)
-            if interval is None:
                 continue
             at = interval.pick()
             if at <= horizon:

@@ -4,7 +4,7 @@ from fractions import Fraction
 
 from hypothesis import strategies as st
 
-from repro.dbm import DBM, Federation, le
+from repro.dbm import DBM, Federation, bound, le
 
 DIM = 4  # three clocks
 
@@ -30,7 +30,7 @@ def zones(draw, dim=DIM, max_constraints=6, lo=-8, hi=12):
             continue
         value = draw(st.integers(lo, hi))
         strict = draw(st.booleans())
-        zone = zone.tighten(i, j, (value << 1) | (0 if strict else 1))
+        zone = zone.tighten(i, j, bound(value, strict))
     return zone
 
 
@@ -47,3 +47,44 @@ def points(draw, dim=DIM, hi=24):
 def federations(draw, dim=DIM, max_zones=3):
     count = draw(st.integers(0, max_zones))
     return Federation(dim, [draw(zones(dim)) for _ in range(count)])
+
+
+@st.composite
+def diagonal_zones(draw, dim=DIM, lo=-6, hi=10):
+    """Zones guaranteed to carry at least one diagonal constraint.
+
+    Starts from a (possibly unbounded) box and conjoins 1-3 constraints
+    between two *real* clocks — the shapes axis-aligned boxes can never
+    produce and the extrapolation/subtraction code paths least covered by
+    :func:`box`.
+    """
+    zone = DBM.universal(dim)
+    for i in range(1, dim):
+        if draw(st.booleans()):
+            upper = draw(st.integers(0, hi))
+            zone = zone.tighten(i, 0, le(upper))
+    n_diagonals = draw(st.integers(1, 3))
+    for _ in range(n_diagonals):
+        i = draw(st.integers(1, dim - 1))
+        j = draw(st.integers(1, dim - 1))
+        if i == j:
+            j = 1 + (i % (dim - 1))
+        value = draw(st.integers(lo, hi))
+        strict = draw(st.booleans())
+        zone = zone.tighten(i, j, bound(value, strict))
+    return zone
+
+
+@st.composite
+def big_federations(draw, dim=DIM, max_zones=6):
+    """Federations mixing boxes and diagonal zones, up to ``max_zones``
+    members — exercises subsumption reduction and exact set differences on
+    genuinely non-convex unions."""
+    count = draw(st.integers(1, max_zones))
+    members = []
+    for _ in range(count):
+        if draw(st.booleans()):
+            members.append(draw(diagonal_zones(dim)))
+        else:
+            members.append(draw(zones(dim)))
+    return Federation(dim, members)
