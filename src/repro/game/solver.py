@@ -22,6 +22,14 @@ move leads to winning states, the controller wins by waiting (paper
 Def. 7/8 maximal-run semantics; this is what makes ``control: A<>
 IUT.Bright`` hold for the Smart Light).
 
+**Committed and urgent states** (``can_delay`` false) are all-boundary:
+time is frozen, so the whole zone is treated as forced and the fixpoint
+update degenerates to the untimed ``(G_act ∪ G_goal) \\ B`` step.  The
+two flags differ only upstream, in move enumeration: committed locations
+restrict the enabled moves to those involving a committed automaton,
+while urgent locations leave every move enabled — the settling rule the
+differential harness cross-checks against the concrete semantics.
+
 Two solving modes:
 
 * :class:`TwoPhaseSolver` — explore the full simulation graph, then run

@@ -7,7 +7,7 @@ on demand:
 * :mod:`repro.gen.networks` — a seeded, configurable generator of
   well-formed-by-construction timed I/O game networks, organized into
   scenario *families* (``random``, ``chain``, ``ring``, ``clientserver``,
-  ``mutant``);
+  ``broadcast``, ``urgent_random``, ``mutant``);
 * :mod:`repro.gen.zones` — seeded random zones/federations (diagonal
   constraints included) plus membership-differential checks of the DBM
   kernel's algebra;

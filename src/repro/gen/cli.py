@@ -10,6 +10,7 @@ hash, and (unless ``--no-shrink``) a shrunk reproducer.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -77,8 +78,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override GenConfig.max_locations (scaling experiments)",
     )
+    parser.add_argument(
+        "--report-json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable campaign report (failing seeds,"
+        " families, structural hashes) to PATH — uploaded as a CI artifact"
+        " by the nightly deep-fuzz job",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
+
+
+def _report_payload(summary, args, elapsed: float) -> dict:
+    """The JSON artifact of a campaign: everything needed to reproduce."""
+    return {
+        "ok": summary.ok,
+        "count": args.count,
+        "seed": args.seed,
+        "families": args.families,
+        "checks": args.checks,
+        "max_locations": args.max_locations,
+        "elapsed_seconds": round(elapsed, 3),
+        "counts": summary.counts(),
+        "zone_trials": summary.zone_trials,
+        "zone_failures": summary.zone_failures,
+        "failures": [
+            {
+                "seed": report.seed,
+                "family": report.family,
+                "structural_hash": report.structural_hash,
+                "description": report.description,
+                "checks": [
+                    {"name": result.name, "detail": result.detail}
+                    for result in report.failures
+                ],
+                "shrunk": report.shrunk,
+                "reproduce": (
+                    f"generate_instance({report.seed}, {report.family!r})"
+                ),
+            }
+            for report in summary.failed_reports
+        ],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -121,6 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elapsed = time.monotonic() - started
     print(summary.format(verbose=False))
     print(f"elapsed: {elapsed:.1f}s")
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            json.dump(_report_payload(summary, args, elapsed), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.report_json}")
     return 0 if summary.ok else 1
 
 

@@ -449,6 +449,12 @@ def _shrink_candidates(spec: NetSpec) -> Iterator[NetSpec]:
                 yield with_automaton(
                     index, replace(aut, locations=tuple(locations))
                 )
+            if loc.urgent:
+                locations = list(aut.locations)
+                locations[position] = replace(loc, urgent=False)
+                yield with_automaton(
+                    index, replace(aut, locations=tuple(locations))
+                )
         for position, edge in enumerate(aut.edges):
             if edge.clock_guard or edge.int_guard:
                 edges = list(aut.edges)

@@ -37,11 +37,23 @@ Scenario families:
 ``clientserver``
     One server automaton serializing requests from several clients, with
     optional uncontrollable ``deny`` branches; the goal counts grants.
+``broadcast``
+    A publisher announcing once on an UPPAAL-style broadcast channel to
+    several subscribers (all enabled receivers take the cast
+    simultaneously); subscribers may go deaf first on uncontrollable
+    ``drop`` branches, and some publishers route the start input through
+    an *urgent* relay location.
+``urgent_random``
+    The ``random`` family with urgent locations enabled: delay-freezing
+    locations (no move priority) that always keep an unconditional
+    output escape, exercising the monitors' urgent settling rules on
+    single plants (where the conformance oracle actually runs).
 ``mutant``
     A base instance from any family above with one mutation operator
     applied at the spec level (guard shift, invariant widening, edge
-    retarget / drop / spurious-add, output-channel swap) — the
-    generation-level analogue of :mod:`repro.testing.mutants`.
+    retarget / drop / spurious-add, output-channel swap, urgent toggle,
+    spurious broadcast receiver) — the generation-level analogue of
+    :mod:`repro.testing.mutants`.
 
 The closed game *arena* is the plant composed with a maximally permissive
 environment automaton that offers every input and consumes every
@@ -105,6 +117,7 @@ class LocSpec:
     invariant: Optional[Tuple[str, int]] = None  # (clock, bound): clock <= bound
     committed: bool = False
     initial: bool = False
+    urgent: bool = False
 
 
 @dataclass(frozen=True)
@@ -137,6 +150,10 @@ class NetSpec:
     env_hidden: Tuple[str, ...]
     automata: Tuple[AutSpec, ...]
     goal: str  # state predicate, e.g. "P0.Done && hops == 2"
+    #: UPPAAL-style broadcast channels: one emitter, all enabled receivers.
+    #: Never hidden from the environment — broadcast receivers cannot race
+    #: the plant's designated receivers, so the env may always listen.
+    broadcast_channels: Tuple[str, ...] = ()
 
     @property
     def query(self) -> str:
@@ -166,6 +183,7 @@ class NetSpec:
             net.int_var(var, low, high, init)
         net.input_channel(*self.input_channels)
         net.output_channel(*self.output_channels)
+        net.broadcast_channel(*self.broadcast_channels)
         for aut in self.automata:
             builder = net.automaton(aut.name)
             for loc in aut.locations:
@@ -177,6 +195,7 @@ class NetSpec:
                     invariant,
                     initial=loc.initial,
                     committed=loc.committed,
+                    urgent=loc.urgent,
                 )
             for edge in aut.edges:
                 builder.edge(
@@ -194,6 +213,10 @@ class NetSpec:
             for channel in self.output_channels:
                 if channel not in self.env_hidden:
                     env.edge("e", "e", sync=f"{channel}?")
+            for channel in self.broadcast_channels:
+                # Broadcast reception never blocks or races the plant's
+                # own receivers, so the environment always listens in.
+                env.edge("e", "e", sync=f"{channel}?")
         return net.build()
 
 
@@ -209,9 +232,11 @@ class GenConfig:
     max_out_edges_per_loc: int = 2
     max_automata: int = 3
     max_clients: int = 3
+    max_subscribers: int = 3
     max_constant: int = 6
     var_range: int = 4
     committed_prob: float = 0.15
+    urgent_prob: float = 0.3
     invariant_prob: float = 0.5
     guard_prob: float = 0.6
     reset_prob: float = 0.5
@@ -344,11 +369,17 @@ def finalize_automaton(aut: AutSpec) -> AutSpec:
 
 
 # ----------------------------------------------------------------------
-# Family: random (single deterministic, input-enabled plant)
+# Families: random / urgent_random (single deterministic plants)
 # ----------------------------------------------------------------------
 
 
-def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
+def _gen_random(
+    rng: random.Random, cfg: GenConfig, *, urgent: bool = False
+) -> NetSpec:
+    """The ``random`` family; with ``urgent`` also the ``urgent_random``
+    variant, which marks some locations urgent (delay-freezing, no move
+    priority) and guarantees each an unconditional output escape so the
+    frozen instant always offers an action (no urgent timelock)."""
     clocks = tuple(f"x{i}" for i in range(rng.randint(1, cfg.max_clocks)))
     int_vars = tuple(
         (f"v{i}", 0, cfg.var_range, 0) for i in range(rng.randint(0, cfg.max_int_vars))
@@ -362,6 +393,14 @@ def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
         for name in names[1:-1]  # never the initial or the goal location
         if rng.random() < cfg.committed_prob
     }
+    urgent_locs: set = set()
+    if urgent:
+        eligible = [name for name in names[1:-1] if name not in committed]
+        urgent_locs = {
+            name for name in eligible if rng.random() < cfg.urgent_prob
+        }
+        if not urgent_locs and eligible:
+            urgent_locs = {rng.choice(eligible)}
     normal = [name for name in names if name not in committed]
 
     def random_resets() -> Tuple[str, ...]:
@@ -431,12 +470,47 @@ def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
                 edges.extend(_complement_loops(name, guard, f"{channel}?"))
             else:
                 edges.append(EdgeSpec(name, name, sync=f"{channel}?", role=IGNORE))
+        if name in urgent_locs:
+            # The urgent freeze must always offer an action: keep one
+            # unconditional output escape (no clock window, no int guard,
+            # no saturating assignment), mirroring the invariant-boundary
+            # liveness rule.
+            own_outputs = [
+                pos
+                for pos, e in enumerate(edges)
+                if e.source == name
+                and e.role == REAL
+                and e.sync
+                and e.sync.endswith("!")
+            ]
+            if own_outputs:
+                pos = own_outputs[0]
+                edges[pos] = replace(
+                    edges[pos],
+                    clock_guard=(),
+                    int_guard=None,
+                    assign=None,
+                    role=LIVENESS,
+                )
+            else:
+                edges.append(
+                    EdgeSpec(
+                        name,
+                        rng.choice(names),
+                        sync=f"{rng.choice(outputs)}!",
+                        role=LIVENESS,
+                    )
+                )
 
     # Invariants, with a designated always-enabled escape edge per location.
     locations: List[LocSpec] = []
     for idx, name in enumerate(names):
         invariant = None
-        if name not in committed and rng.random() < cfg.invariant_prob:
+        if (
+            name not in committed
+            and name not in urgent_locs  # urgent already freezes delay
+            and rng.random() < cfg.invariant_prob
+        ):
             outgoing = [
                 (pos, e)
                 for pos, e in enumerate(edges)
@@ -449,7 +523,10 @@ def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
                 # int guard, and no assignment (a saturating increment would
                 # disable the move once the variable hits its bound).
                 edges[pos] = replace(
-                    escape, clock_guard=(), int_guard=None, assign=None,
+                    escape,
+                    clock_guard=(),
+                    int_guard=None,
+                    assign=None,
                     role=LIVENESS,
                 )
         locations.append(
@@ -458,13 +535,15 @@ def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
                 invariant=invariant,
                 committed=(name in committed),
                 initial=(idx == 0),
+                urgent=(name in urgent_locs),
             )
         )
 
     aut = finalize_automaton(AutSpec("P", tuple(locations), tuple(edges)))
+    prefix, family = ("urand", "urgent_random") if urgent else ("rand", "random")
     return NetSpec(
-        name=f"rand{rng.getrandbits(24)}",
-        family="random",
+        name=f"{prefix}{rng.getrandbits(24)}",
+        family=family,
         seed=0,  # patched by generate_instance
         clocks=clocks,
         int_vars=int_vars,
@@ -474,6 +553,10 @@ def _gen_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
         automata=(aut,),
         goal=f"P.{names[-1]}",
     )
+
+
+def _gen_urgent_random(rng: random.Random, cfg: GenConfig) -> NetSpec:
+    return _gen_random(rng, cfg, urgent=True)
 
 
 # ----------------------------------------------------------------------
@@ -542,7 +625,7 @@ def _gen_chain(rng: random.Random, cfg: GenConfig) -> NetSpec:
             )
             for loc in ("Idle", "Done"):
                 edges.append(EdgeSpec(loc, loc, sync=f"nd{i}?", role=IGNORE))
-            if any(l.name == "Stuck" for l in locs):
+            if any(spec_loc.name == "Stuck" for spec_loc in locs):
                 edges.append(EdgeSpec("Stuck", "Stuck", sync=f"nd{i}?", role=IGNORE))
         if i == 0:
             for loc in locs[1:]:
@@ -737,6 +820,98 @@ def _gen_client_server(rng: random.Random, cfg: GenConfig) -> NetSpec:
 
 
 # ----------------------------------------------------------------------
+# Family: broadcast (publisher / subscribers over a broadcast channel)
+# ----------------------------------------------------------------------
+
+
+def _gen_broadcast(rng: random.Random, cfg: GenConfig) -> NetSpec:
+    """A publisher announcing on a broadcast channel to ``k`` subscribers.
+
+    The tester starts the publisher (``go``); within a bounded window the
+    publisher casts once on a broadcast channel and every still-listening
+    subscriber takes the announcement simultaneously, bumping a shared
+    counter.  Subscribers may go deaf first on an uncontrollable ``drop``
+    branch, so the game is only winnable when the cast can beat every
+    drop window.  Some publishers are *urgent relays*: the initial input
+    routes through an urgent Arm location that must forward instantly.
+    """
+    k = rng.randint(1, max(1, cfg.max_subscribers))
+    deadline = rng.randint(2, cfg.max_constant)
+    earliest = rng.randint(0, deadline)
+    urgent_relay = rng.random() < cfg.urgent_prob
+    pub_locs = [
+        LocSpec("Idle", initial=True),
+        LocSpec("Prep", invariant=("x", deadline)),
+        LocSpec("Sent"),
+    ]
+    pub_edges = [
+        EdgeSpec(
+            "Prep",
+            "Sent",
+            sync="cast!",
+            clock_guard=(GuardAtom("x", ">=", earliest),) if earliest else (),
+            role=LIVENESS,
+        ),
+    ]
+    if urgent_relay:
+        pub_locs.insert(1, LocSpec("Arm", urgent=True))
+        pub_edges.append(EdgeSpec("Idle", "Arm", sync="go?", role=REAL))
+        # The urgent freeze resolves through an unguarded output relay.
+        pub_edges.append(
+            EdgeSpec("Arm", "Prep", sync="armed!", resets=("x",), role=LIVENESS)
+        )
+        pub_edges.append(EdgeSpec("Arm", "Arm", sync="go?", role=IGNORE))
+    else:
+        pub_edges.append(
+            EdgeSpec("Idle", "Prep", sync="go?", resets=("x",), role=REAL)
+        )
+    for loc in ("Prep", "Sent"):
+        pub_edges.append(EdgeSpec(loc, loc, sync="go?", role=IGNORE))
+    outputs: List[str] = ["armed"] if urgent_relay else []
+    automata = [finalize_automaton(AutSpec("P", tuple(pub_locs), tuple(pub_edges)))]
+    for j in range(k):
+        locs = [LocSpec("Wait", initial=True), LocSpec("Got")]
+        edges = [
+            EdgeSpec(
+                "Wait",
+                "Got",
+                sync="cast?",
+                assign="got := got + 1",
+                role=REAL,
+            )
+        ]
+        if rng.random() < cfg.fail_prob:
+            drop_after = rng.randint(1, deadline)
+            outputs.append(f"drop{j}")
+            locs.append(LocSpec("Deaf"))
+            edges.append(
+                EdgeSpec(
+                    "Wait",
+                    "Deaf",
+                    sync=f"drop{j}!",
+                    clock_guard=(GuardAtom("x", ">=", drop_after),),
+                    role=REAL,
+                )
+            )
+        automata.append(
+            finalize_automaton(AutSpec(f"S{j}", tuple(locs), tuple(edges)))
+        )
+    return NetSpec(
+        name=f"bcast{k}",
+        family="broadcast",
+        seed=0,
+        clocks=("x",),
+        int_vars=(("got", 0, k + 1, 0),),
+        input_channels=("go",),
+        output_channels=tuple(outputs),
+        env_hidden=(),
+        automata=tuple(automata),
+        goal=f"P.Sent && got == {k}",
+        broadcast_channels=("cast",),
+    )
+
+
+# ----------------------------------------------------------------------
 # Family: mutant (a base instance with one spec-level mutation)
 # ----------------------------------------------------------------------
 
@@ -760,6 +935,10 @@ def mutate_spec(spec: NetSpec, rng: random.Random) -> NetSpec:
     visible = [c for c in spec.output_channels if c not in spec.env_hidden]
     if len(visible) >= 2:
         operators.append("swap_output")
+    if any(loc.urgent for aut in spec.automata for loc in aut.locations):
+        operators.append("toggle_urgent")
+    if spec.broadcast_channels:
+        operators.append("spurious_receiver")
     for _ in range(12):  # retry until an operator finds a target
         op = rng.choice(operators)
         aut_idx = rng.randrange(len(spec.automata))
@@ -842,6 +1021,35 @@ def _apply_operator(
         pos = rng.choice(candidates)
         del edges[pos]
         return replace(aut, edges=tuple(edges))
+    if op == "toggle_urgent":
+        locs = list(aut.locations)
+        candidates = [
+            i
+            for i, loc in enumerate(locs)
+            if not loc.committed and not loc.initial
+        ]
+        if not candidates:
+            return None
+        i = rng.choice(candidates)
+        locs[i] = replace(locs[i], urgent=not locs[i].urgent, invariant=None)
+        return replace(aut, locations=tuple(locs))
+    if op == "spurious_receiver":
+        # An extra broadcast receiving edge: may make the broadcast move
+        # nondeterministic or change the fan-out; receivers must stay
+        # clock-guard-free (model-layer restriction).
+        channel = rng.choice(spec.broadcast_channels)
+        names = [loc.name for loc in aut.locations if not loc.committed]
+        if not names:
+            return None
+        edges.append(
+            EdgeSpec(
+                rng.choice(names),
+                rng.choice(names),
+                sync=f"{channel}?",
+                role=REAL,
+            )
+        )
+        return replace(aut, edges=tuple(edges))
     if op == "spurious":
         visible = [c for c in spec.output_channels if c not in spec.env_hidden]
         if not visible:
@@ -865,7 +1073,9 @@ def _apply_operator(
 
 
 def _gen_mutant(rng: random.Random, cfg: GenConfig) -> NetSpec:
-    base_family = rng.choice(("random", "chain", "ring", "clientserver"))
+    base_family = rng.choice(
+        ("random", "chain", "ring", "clientserver", "broadcast", "urgent_random")
+    )
     base = FAMILIES[base_family](rng, cfg)
     return mutate_spec(base, rng)
 
@@ -879,6 +1089,8 @@ FAMILIES: Dict[str, Callable[[random.Random, GenConfig], NetSpec]] = {
     "chain": _gen_chain,
     "ring": _gen_ring,
     "clientserver": _gen_client_server,
+    "broadcast": _gen_broadcast,
+    "urgent_random": _gen_urgent_random,
     "mutant": _gen_mutant,
 }
 

@@ -9,14 +9,24 @@ This is the TIOTS of Definition 4, in two flavours:
 * **concrete** — exact rational valuations with enabled-delay intervals,
   used by the test executor and the simulated implementations.
 
-A **move** is a complete synchronization: either one internal edge or an
-emitter/receiver pair on a channel.  Controllability follows the paper's
-TIOGA convention: input channels are controllable, output channels are
-uncontrollable, internal edges carry an explicit flag.
+A **move** is a complete synchronization: one internal edge, an
+emitter/receiver pair on a binary channel, or — on a *broadcast* channel —
+one emitter plus every automaton with an enabled receiving edge (emission
+never blocks on missing receivers).  Controllability follows the paper's
+TIOGA convention: input channels are controllable; output, broadcast, and
+internal moves are uncontrollable (internal edges carry an explicit flag).
+
+**Urgent locations** freeze delay exactly like committed ones (``d = 0``
+is the only legal delay while any automaton sits in one) but, unlike
+committed locations, grant no priority: every enabled move of the network
+remains enabled.  Both flags are folded into :meth:`System.can_delay`, so
+delay closure, maximal-delay computation, and the solvers' boundary
+handling treat urgent states uniformly.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -170,11 +180,20 @@ class System:
                 return False
         return True
 
-    def _has_committed(self, locs: Tuple[int, ...]) -> bool:
+    def has_committed(self, locs: Tuple[int, ...]) -> bool:
+        """True iff some automaton is in a committed location."""
         for a_idx, automaton in enumerate(self.automata):
             if automaton.location_list[locs[a_idx]].committed:
                 return True
         return False
+
+    def has_urgent(self, locs: Tuple[int, ...]) -> bool:
+        """True iff some automaton is in an urgent location."""
+        for a_idx, automaton in enumerate(self.automata):
+            if automaton.location_list[locs[a_idx]].urgent:
+                return True
+        return False
+
 
     # ------------------------------------------------------------------
     # Move enumeration
@@ -189,7 +208,7 @@ class System:
         if cached is not None:
             return cached
         ctx = self.ctx(vars)
-        committed = self._has_committed(locs)
+        committed = self.has_committed(locs)
         moves: List[Move] = []
 
         def committed_ok(indices: Iterable[int]) -> bool:
@@ -212,6 +231,13 @@ class System:
         for channel_name, channel in self.network.channels.items():
             emitters = self._emit.get(channel_name, ())
             receivers = self._recv.get(channel_name, ())
+            if channel.broadcast:
+                moves.extend(
+                    self._broadcast_moves(
+                        channel_name, emitters, receivers, locs, ctx, committed_ok
+                    )
+                )
+                continue
             for i, e_send in emitters:
                 automaton = self.automata[i]
                 if automaton.location_index(e_send.source) != locs[i]:
@@ -246,6 +272,58 @@ class System:
         self._moves_cache[key] = moves
         return moves
 
+    def _broadcast_moves(
+        self,
+        channel_name: str,
+        emitters,
+        receivers,
+        locs: Tuple[int, ...],
+        ctx: Context,
+        committed_ok,
+    ) -> List[Move]:
+        """Broadcast synchronizations from a discrete state.
+
+        One move per (enabled emitter edge, choice of one enabled receiving
+        edge per listening automaton).  Receivers never block the emitter:
+        an automaton with no enabled receiving edge simply does not
+        participate.  Broadcast receiver guards are integer-only (enforced
+        by :meth:`Network.prepare`), so the participating set is fully
+        determined by the discrete state and each combination is a single
+        symbolic move.  In a committed state the move is enabled iff *some*
+        participant (emitter or receiver) occupies a committed location.
+        """
+        moves: List[Move] = []
+        for i, e_send in emitters:
+            automaton = self.automata[i]
+            if automaton.location_index(e_send.source) != locs[i]:
+                continue
+            if not e_send.guard_split.int_holds(ctx):
+                continue
+            per_automaton: Dict[int, List[Edge]] = {}
+            for j, e_recv in receivers:
+                if i == j:
+                    continue
+                recv_automaton = self.automata[j]
+                if recv_automaton.location_index(e_recv.source) != locs[j]:
+                    continue
+                if not e_recv.guard_split.int_holds(ctx):
+                    continue
+                per_automaton.setdefault(j, []).append(e_recv)
+            indices = sorted(per_automaton)
+            if not committed_ok((i,) + tuple(indices)):
+                continue
+            for combo in itertools.product(*(per_automaton[j] for j in indices)):
+                participants = tuple(zip(indices, combo))
+                moves.append(
+                    Move(
+                        channel_name,
+                        "output",
+                        False,
+                        ((i, e_send),) + participants,
+                    )
+                )
+        return moves
+
     def open_moves_from(
         self, locs: Tuple[int, ...], vars: Tuple[int, ...]
     ) -> List[Move]:
@@ -254,10 +332,13 @@ class System:
         Used when a network models a single component (the plant spec for
         the tioco monitor, or a simulated implementation) whose partners
         live outside the model: an edge ``c?`` on an input channel is an
-        input move, ``c!`` on an output channel is an output move.
+        input move, ``c!`` on an output channel is an output move.  On a
+        broadcast channel the *edge* decides: the emitting half ``c!`` is
+        an (observable, uncontrollable) output of the component, the
+        receiving half ``c?`` an input the environment may trigger.
         """
         ctx = self.ctx(vars)
-        committed = self._has_committed(locs)
+        committed = self.has_committed(locs)
         moves: List[Move] = []
         for a_idx, automaton in enumerate(self.automata):
             src_loc = automaton.location_list[locs[a_idx]]
@@ -276,15 +357,20 @@ class System:
                 channel = self.network.channels.get(edge.sync[0])
                 if channel is None:
                     raise ModelError(f"undeclared channel on {edge.describe()}")
-                direction = (
-                    "input"
-                    if channel.kind == "input"
-                    else "output"
-                    if channel.kind == "output"
-                    else "internal"
-                )
+                if channel.broadcast:
+                    direction = "output" if edge.sync[1] == "!" else "input"
+                    controllable = direction == "input"
+                else:
+                    direction = (
+                        "input"
+                        if channel.kind == "input"
+                        else "output"
+                        if channel.kind == "output"
+                        else "internal"
+                    )
+                    controllable = channel.controllable
                 moves.append(
-                    Move(channel.name, direction, channel.controllable, ((a_idx, edge),))
+                    Move(channel.name, direction, controllable, ((a_idx, edge),))
                 )
         return moves
 

@@ -2,6 +2,7 @@
 
 from .builder import AutomatonBuilder, NetworkBuilder
 from .model import (
+    BROADCAST,
     INPUT,
     INTERNAL,
     OUTPUT,

@@ -26,7 +26,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..expr.ast import Assignment, Expr
 from ..expr.env import Declarations
 from ..expr.parser import parse_assignments, parse_expression
-from .model import INPUT, INTERNAL, OUTPUT, Automaton, Edge, ModelError, Network
+from .model import (
+    BROADCAST,
+    INPUT,
+    INTERNAL,
+    OUTPUT,
+    Automaton,
+    Edge,
+    ModelError,
+    Network,
+)
 
 #: Guards/invariants accept either source strings or pre-built ASTs, so
 #: programmatic constructors (e.g. :mod:`repro.gen`) can skip the parser.
@@ -176,6 +185,11 @@ class NetworkBuilder:
     def internal_channel(self, *names: str) -> "NetworkBuilder":
         for name in names:
             self._channels.append((name, INTERNAL))
+        return self
+
+    def broadcast_channel(self, *names: str) -> "NetworkBuilder":
+        for name in names:
+            self._channels.append((name, BROADCAST))
         return self
 
     # Automata ----------------------------------------------------------

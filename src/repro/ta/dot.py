@@ -62,17 +62,22 @@ def automaton_to_dot(
         lines.append(f'"{prefix}{loc.name}" [{" ".join(attrs)}];')
     for edge in automaton.edges:
         style = "solid"
+        extra = ""
         if network is not None:
             controllable = edge.controllable
             if edge.sync is not None:
                 channel = network.channels.get(edge.sync[0])
                 if channel is not None:
                     controllable = channel.controllable
+                    if channel.broadcast:
+                        # One-to-many synchronization: draw bold so the
+                        # fan-out stands out in network figures.
+                        extra = " penwidth=2"
             style = "solid" if controllable else "dashed"
         label = _edge_label(edge)
         lines.append(
             f'"{prefix}{edge.source}" -> "{prefix}{edge.target}"'
-            f' [label="{label}" style={style}];'
+            f' [label="{label}" style={style}{extra}];'
         )
     lines.append("}")
     return "\n".join(lines)

@@ -13,8 +13,9 @@ uncontrollable (the plant decides).  Edges without a channel are internal
 (``tau``) moves whose controllability is set explicitly (default:
 uncontrollable, the conservative choice for a plant model).
 
-A :class:`Network` is a set of automata communicating by binary channel
-synchronization over shared declarations, exactly like an UPPAAL system.
+A :class:`Network` is a set of automata communicating over shared
+declarations by binary channel synchronization — or, on ``broadcast``
+channels, by one-to-many synchronization — exactly like an UPPAAL system.
 Networks are *prepared* once (guards split, invariants checked, constants
 collected) and treated as immutable afterwards.
 """
@@ -42,6 +43,7 @@ class ModelError(ValueError):
 INPUT = "input"
 OUTPUT = "output"
 INTERNAL = "internal"
+BROADCAST = "broadcast"
 
 
 @dataclass(frozen=True)
@@ -49,8 +51,16 @@ class Channel:
     """A synchronization channel.
 
     ``kind`` is ``input`` (controllable, offered by the tester/controller),
-    ``output`` (uncontrollable, produced by the plant), or ``internal``
-    (hidden; controllability per edge).
+    ``output`` (uncontrollable, produced by the plant), ``internal``
+    (hidden; controllability per edge), or ``broadcast`` (uncontrollable,
+    observable, UPPAAL-style one-to-many synchronization: one emitter
+    synchronizes with *every* automaton that has an enabled receiving
+    edge, and emission never blocks on missing receivers).
+
+    Broadcast receiving edges may not carry clock guards (only integer
+    guards): the set of participating receivers must be a function of the
+    discrete state alone, or a single symbolic move could not represent
+    the synchronization.  :meth:`Network.prepare` enforces this.
     """
 
     name: str
@@ -59,6 +69,10 @@ class Channel:
     @property
     def controllable(self) -> bool:
         return self.kind == INPUT
+
+    @property
+    def broadcast(self) -> bool:
+        return self.kind == BROADCAST
 
 
 @dataclass
@@ -170,7 +184,7 @@ class Network:
     def add_channel(self, name: str, kind: str) -> Channel:
         if name in self.channels:
             raise ModelError(f"duplicate channel {name}")
-        if kind not in (INPUT, OUTPUT, INTERNAL):
+        if kind not in (INPUT, OUTPUT, INTERNAL, BROADCAST):
             raise ModelError(f"bad channel kind {kind!r}")
         channel = Channel(name, kind)
         self.channels[name] = channel
@@ -212,6 +226,16 @@ class Network:
                             f"edge {edge.describe()} uses undeclared channel"
                         )
                     edge.controllable = channel.controllable
+                    if (
+                        channel.broadcast
+                        and edge.sync[1] == "?"
+                        and edge.guard_split.clock_atoms
+                    ):
+                        raise ModelError(
+                            f"broadcast receiver {edge.describe()} carries a"
+                            f" clock guard; broadcast receiving edges may only"
+                            f" use integer guards"
+                        )
                 edge.index = edge_counter
                 edge_counter += 1
         self._prepared = True

@@ -24,7 +24,7 @@ from ..semantics.system import System
 
 @dataclass
 class ValidationIssue:
-    kind: str  # 'nondeterminism' | 'input-refusal' | 'invariant-shape'
+    kind: str  # 'nondeterminism' | 'input-refusal' | 'urgent-timelock'
     message: str
 
     def __str__(self) -> str:
@@ -60,13 +60,26 @@ def check_determinism(
     graph = SimulationGraph(system, open_system=open_system, max_nodes=max_nodes)
     graph.explore_all()
     report.nodes_checked = graph.node_count
+    channels = system.network.channels
     for node in graph.nodes:
         by_label: dict = {}
         for edge in node.out_edges:
             if edge.move.direction == "internal":
                 continue
-            by_label.setdefault(edge.move.label, []).append(edge)
-        for label, edges in by_label.items():
+            channel = channels.get(edge.move.label)
+            if channel is not None and channel.broadcast and (
+                edge.move.direction == "input"
+            ):
+                # Broadcast receive halves in *different* automata fire
+                # together in the closed semantics (fan-out, not choice),
+                # so group per automaton: only same-automaton alternatives
+                # on the same broadcast channel are a genuine choice.
+                key = (edge.move.label, edge.move.edges[0][0])
+            else:
+                key = edge.move.label
+            by_label.setdefault(key, []).append(edge)
+        for key, edges in by_label.items():
+            label = key if isinstance(key, str) else key[0]
             if len(edges) < 2:
                 continue
             for a in range(len(edges)):
@@ -119,11 +132,18 @@ def check_input_enabledness(
     report.nodes_checked = graph.node_count
     inputs = set(system.network.channel_names("input"))
     for node in graph.nodes:
-        if not system.can_delay(node.sym.locs):
+        if system.has_committed(node.sym.locs):
             continue  # committed processing states resolve instantly
+        # Urgent states do NOT resolve silently: they settle as observable
+        # waiting points (quiescence bound 0), so inputs must be accepted
+        # there like anywhere else.
         covered = {name: Federation.empty(system.dim) for name in inputs}
         for edge in node.out_edges:
             if edge.move.direction != "input":
+                continue
+            if edge.move.label not in covered:
+                # Broadcast receive halves: a disabled receiver never
+                # blocks the cast, so no enabledness obligation.
                 continue
             zone = node.zone.constrained(
                 system.guard_constraints(edge.move, node.sym.vars)
@@ -141,10 +161,48 @@ def check_input_enabledness(
     return report
 
 
+def check_urgent_escapes(system: System) -> ValidationReport:
+    """Static check that urgent locations cannot freeze time forever.
+
+    An urgent location blocks all delay, so if every outgoing edge can be
+    disabled the model can reach an instant where nothing is enabled and
+    time cannot pass — a timelock the monitors would report as a
+    (spurious) quiescence violation.  The static criterion: every urgent
+    location must keep at least one *unconditional* outgoing edge — no
+    clock constraints (a clock window may already have passed on entry)
+    and no integer guard (a variable state may never satisfy it).  This
+    is a conservative approximation: it does not prove the escape's
+    target invariant admits entry (generated models guarantee that via
+    entry resets), and it may reject models whose guarded edges happen to
+    cover all reachable valuations.
+    """
+    report = ValidationReport()
+    for automaton in system.automata:
+        for loc in automaton.location_list:
+            if not loc.urgent:
+                continue
+            escapes = [
+                edge
+                for edge in automaton.out_edges(loc.name)
+                if not edge.guard_split.clock_atoms
+                and not edge.guard_split.int_atoms
+            ]
+            if not escapes:
+                report.add(
+                    "urgent-timelock",
+                    f"urgent location {automaton.name}.{loc.name} has no"
+                    f" unconditional (guard-free) outgoing edge; time can"
+                    f" freeze with no enabled action",
+                )
+    return report
+
+
 def validate_plant(system: System, *, max_nodes: Optional[int] = 20_000) -> ValidationReport:
-    """Combined §2.2 checks for a plant model (determinism + enabledness)."""
+    """Combined §2.2 checks for a plant model (determinism + enabledness +
+    urgent-location escapes)."""
     report = check_determinism(system, max_nodes=max_nodes)
     enabled = check_input_enabledness(system, max_nodes=max_nodes)
     report.issues.extend(enabled.issues)
     report.nodes_checked = max(report.nodes_checked, enabled.nodes_checked)
+    report.issues.extend(check_urgent_escapes(system).issues)
     return report

@@ -12,7 +12,7 @@ from .implementation import (
     SimulatedImplementation,
 )
 from .replay import ReplayResult, parse_trace, replay_trace
-from .rtioco import RelativizedMonitor
+from .rtioco import RelativizedMonitor, RtiocoMonitor
 from .tioco import Quiescence, SpecNondeterminism, TiocoMonitor
 from .trace import (
     FAIL,

@@ -49,10 +49,21 @@ class RelativizedMonitor:
         return False
 
     def _settle(self) -> None:
-        """Resolve committed internal moves (deterministic specs)."""
+        """Resolve committed internal moves (deterministic specs).
+
+        Urgent states follow the same rule as :class:`TiocoMonitor`: when
+        only urgent locations freeze time and the composed model offers an
+        observable output at this instant, the state is settled as-is and
+        the freeze resolves through :meth:`observe_output` /
+        :meth:`observe_move` at delay 0.
+        """
         for _ in range(64):
             if self.spec.can_delay(self.state.locs):
                 return
+            if not self.spec.has_committed(self.state.locs) and self.spec.enabled_now(
+                self.state, directions=("output",)
+            ):
+                return  # urgent-only freeze with an observable resolution
             fired = False
             for move, _ in self.spec.enabled_now(
                 self.state, directions=("internal",)
@@ -129,3 +140,8 @@ class RelativizedMonitor:
             f"output {label}! not admitted by the composed specification"
             f" here (allowed: {self.allowed_outputs() or 'none'}) (rtioco)"
         )
+
+
+#: The paper calls the relativized relation *rtioco*; expose the monitor
+#: under that name as well.
+RtiocoMonitor = RelativizedMonitor

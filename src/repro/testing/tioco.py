@@ -61,14 +61,28 @@ class TiocoMonitor:
         self._settle()
 
     def _settle(self) -> None:
-        """Silently resolve committed internal processing steps.
+        """Silently resolve unobservable processing in frozen-time states.
 
         Deterministic specs resolve value-passing in committed locations
         (zero time, unobservable); the monitor state is always settled.
+
+        **Urgent locations** freeze time the same way but grant no
+        priority, so the settling rule is: an urgent (non-committed) state
+        that offers an observable move at the current instant is already
+        settled — time simply cannot pass (``max_quiescence`` is 0) until
+        the implementation produces an output or the tester an input.
+        Only internal moves without an observable competitor are resolved
+        silently.  An urgent location with *only* sync edges therefore no
+        longer strands the monitor: it waits at the frozen instant and
+        resolves via :meth:`observe`.
         """
         for _ in range(64):
             if self.spec.can_delay(self.state.locs):
                 return
+            if not self.spec.has_committed(self.state.locs) and self.enabled_now(
+                "output"
+            ):
+                return  # urgent-only freeze with an observable resolution
             internal = [
                 move
                 for move, _ in self.spec.enabled_now(
@@ -81,7 +95,8 @@ class TiocoMonitor:
                 successors = {self.spec.fire(self.state, m) for m in internal}
                 if len(successors) > 1:
                     raise SpecNondeterminism(
-                        "multiple internal moves enabled in a committed state"
+                        "multiple internal moves enabled in a committed/urgent"
+                        " state"
                     )
             nxt = self.spec.fire(self.state, internal[0])
             if nxt is None:

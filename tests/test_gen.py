@@ -32,7 +32,7 @@ from repro.gen.differential import (
 )
 from repro.gen.networks import COMPLEMENT, IGNORE
 from repro.semantics.system import System
-from repro.ta.validate import validate_plant
+from repro.ta.validate import check_urgent_escapes, validate_plant
 from repro.tctl import parse_query
 
 ALL_FAMILIES = sorted(FAMILIES)
@@ -103,6 +103,97 @@ def test_invariant_locations_have_liveness_escape():
             assert escapes, f"seed {seed}: {loc.name} can deadlock at boundary"
 
 
+def test_urgent_random_family_marks_urgent_locations_with_escapes():
+    """Most ``urgent_random`` plants carry urgent locations, and every
+    urgent location keeps an unconditional output escape (no urgent
+    timelock, per ``check_urgent_escapes``)."""
+    with_urgent = 0
+    for seed in range(20):
+        instance = generate_instance(seed, "urgent_random")
+        (aut,) = instance.spec.automata
+        urgents = [loc for loc in aut.locations if loc.urgent]
+        with_urgent += bool(urgents)
+        for loc in urgents:
+            assert loc.invariant is None  # urgency already freezes delay
+            assert not loc.committed
+            escapes = [
+                e
+                for e in aut.edges
+                if e.source == loc.name
+                and not e.clock_guard
+                and not e.int_guard
+                and not e.assign
+                and e.sync
+                and e.sync.endswith("!")
+            ]
+            assert escapes, f"seed {seed}: urgent {loc.name} can timelock"
+        assert check_urgent_escapes(System(instance.plant)).ok
+    assert with_urgent >= 16  # the family must actually exercise urgency
+
+
+def test_urgent_random_family_plants_satisfy_test_hypotheses():
+    for seed in range(12):
+        instance = generate_instance(seed, "urgent_random")
+        report = validate_plant(System(instance.plant), max_nodes=4000)
+        assert report.ok, f"seed {seed}: {report}"
+
+
+def test_broadcast_family_structure():
+    """Publisher/subscriber shape: one broadcast channel, all receiving
+    edges clock-guard-free (the model-layer broadcast restriction)."""
+    relay_seen = False
+    for seed in range(20):
+        spec = generate_instance(seed, "broadcast").spec
+        assert spec.broadcast_channels == ("cast",)
+        receivers = [
+            edge
+            for aut in spec.automata
+            for edge in aut.edges
+            if edge.sync == "cast?"
+        ]
+        assert len(receivers) == len(spec.automata) - 1  # every subscriber
+        assert all(not e.clock_guard for e in receivers)
+        emitters = [
+            edge
+            for aut in spec.automata
+            for edge in aut.edges
+            if edge.sync == "cast!"
+        ]
+        assert len(emitters) == 1
+        relay_seen |= any(
+            loc.urgent for aut in spec.automata for loc in aut.locations
+        )
+        # Compiles to a closed arena with a legal initial state.
+        System(generate_instance(seed, "broadcast").arena).initial_symbolic()
+    assert relay_seen  # some publishers route through the urgent relay
+
+
+def test_validate_plant_handles_broadcast_plants():
+    """Broadcast receive halves are exempt from the determinism and
+    input-enabledness obligations (a disabled receiver never blocks and
+    parallel receivers are fan-out, not choice), so validation must
+    return a clean report instead of crashing or flagging them."""
+    for seed in range(8):
+        instance = generate_instance(seed, "broadcast")
+        report = validate_plant(System(instance.plant), max_nodes=4000)
+        assert report.ok, f"seed {seed}: {report}"
+
+
+def test_conformance_check_runs_on_urgent_plants():
+    """The monitors must drive urgent single plants, not skip them."""
+    ran = 0
+    for seed in range(12):
+        report = run_instance_checks(
+            generate_instance(seed, "urgent_random"),
+            DiffConfig(sim_runs=1, conf_steps=12),
+            checks=("conformance",),
+        )
+        (result,) = report.results
+        assert result.status != FAIL, result.detail
+        ran += result.status == OK
+    assert ran >= 10
+
+
 def test_entry_resets_protect_invariants():
     for family in ALL_FAMILIES:
         for seed in range(6):
@@ -134,6 +225,11 @@ GOLDEN_HASHES = {
     ("ring", 2): "8fd8849b8d8612d41640e763773a2707c5348f6a471ed4adb313b2c2736115f2",
     ("clientserver", 3): "5ac69ef5145754b9c320aba9947555c4e266ac7f36aee7184835cc013a127516",
     ("mutant", 4): "a6bc37af226843487e4e2ae616bfe217bcc5af5a625a67fa19493a59df1cd5ab",
+    ("broadcast", 5): "a13a1a47e3179be243e8e9d417d778e6d5b4a393b98f3f459d6c3d5ab76a4b23",
+    (
+        "urgent_random",
+        6,
+    ): "b8d4700e79591718a1c7e0626a1bc42d0207a3937a61d787a97b6d1444d9a350",
 }
 
 
