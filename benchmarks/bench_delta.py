@@ -1,0 +1,96 @@
+"""Compare two pytest-benchmark JSON files and emit a markdown delta.
+
+Used by the CI bench-smoke job: the previous successful run's
+``BENCH_<sha>.json`` is downloaded and compared against the current
+one, and the speedup/regression table lands in the job summary.
+
+Fail-soft by design: exit code is always 0 (a missing baseline or a
+noisy runner must not break CI); regressions beyond the threshold are
+surfaced as a loud warning line instead.
+
+Usage::
+
+    python benchmarks/bench_delta.py PREV.json CURRENT.json [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {b["name"]: b["stats"]["median"] for b in data.get("benchmarks", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="per-benchmark slowdown fraction that triggers a warning",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        prev = load_medians(args.previous)
+        cur = load_medians(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bench-delta: could not load inputs ({exc}); skipping")
+        return 0
+
+    shared = sorted(set(prev) & set(cur))
+    if not shared:
+        print("bench-delta: no overlapping benchmarks; skipping")
+        return 0
+
+    rows = []
+    ratios = []
+    regressions = []
+    for name in shared:
+        before, after = prev[name], cur[name]
+        if before <= 0 or after <= 0:
+            continue
+        speedup = before / after
+        ratios.append(speedup)
+        rows.append((name, before, after, speedup))
+        if after > before * (1 + args.threshold):
+            regressions.append((name, speedup))
+
+    ratios.sort()
+    median = ratios[len(ratios) // 2] if ratios else 1.0
+
+    print("## Benchmark delta vs previous run")
+    print()
+    print(f"{len(rows)} shared benchmarks, median speedup **{median:.2f}x** ")
+    print()
+    print("| benchmark | before (ms) | after (ms) | speedup |")
+    print("|---|---:|---:|---:|")
+    for name, before, after, speedup in sorted(rows, key=lambda r: r[3]):
+        marker = " ⚠️" if after > before * (1 + args.threshold) else ""
+        print(
+            f"| `{name}` | {before * 1000:.2f} | {after * 1000:.2f} |"
+            f" {speedup:.2f}x{marker} |"
+        )
+    print()
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(
+            f"**WARNING**: {len(regressions)} benchmark(s) regressed more than"
+            f" {args.threshold:.0%} (worst: `{worst[0]}` at {worst[1]:.2f}x)."
+            f" Fail-soft: not failing the job; investigate before merging."
+        )
+    else:
+        print("No regressions beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

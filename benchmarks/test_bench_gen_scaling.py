@@ -13,6 +13,7 @@ Three questions, each a capacity planning input for CI fuzz budgets:
 
 import pytest
 
+from repro.util import counters
 from repro.game import TwoPhaseSolver
 from repro.gen import GenConfig, generate_instance
 from repro.gen.differential import DiffConfig, run_instance_checks
@@ -37,6 +38,7 @@ def test_bench_solve_random_by_locations(benchmark, locations):
     queries = [parse_query(instance.query) for instance in instances]
 
     def run():
+        counters.reset()  # per-round: extra_info reflects one round's ops
         verdicts = 0
         for instance, query in zip(instances, queries):
             result = TwoPhaseSolver(System(instance.arena), query).solve()
@@ -44,6 +46,10 @@ def test_bench_solve_random_by_locations(benchmark, locations):
         return verdicts
 
     assert benchmark(run) >= 0
+    snap = counters.snapshot()
+    for key in ("dbm.closures", "stack.closures", "federation.zones"):
+        if key in snap:
+            benchmark.extra_info[key] = snap[key]
 
 
 @pytest.mark.parametrize("stages", [2, 3, 4])

@@ -21,6 +21,23 @@ from typing import Tuple
 #: model constant can reach it, small enough that sums never overflow int64.
 INF = 1 << 40
 
+#: Largest absolute model constant a clock may be compared against or
+#: assigned.  Enforced where constants are encoded (ClockAtom and the
+#: helpers below); keeps the drift-tolerant closure sound (see INF_SOFT).
+MAX_BOUND_CONST = 1 << 30
+
+#: Drift threshold for the closure kernels: they add bounds *without*
+#: per-step INF masking (an INF summed with finite negatives "drifts"
+#: below INF) and clamp every entry >= INF_SOFT back to exactly INF once
+#: at the end.  Soundness needs (a) drifted infinities to stay above the
+#: threshold and (b) finite path bounds to stay below it.  Per closure,
+#: drift and finite growth are each bounded by dim * max|encoding|
+#: <= dim * 2 * MAX_BOUND_CONST = dim * 2^31, so with the enforced
+#: constant cap both hold for dim <= 256: dim * 2^31 <= 2^39 = INF_SOFT
+#: = INF - INF_SOFT.  (Clamping after every operation means drift never
+#: accumulates across operations.)
+INF_SOFT = INF >> 1
+
 #: Encoding of the bound (0, <=): the tightest bound compatible with x == y.
 LE_ZERO = 1
 
@@ -28,19 +45,29 @@ LE_ZERO = 1
 LT_ZERO = 0
 
 
+def check_const(value: int) -> int:
+    """Validate a model constant against :data:`MAX_BOUND_CONST`."""
+    if not -MAX_BOUND_CONST <= value <= MAX_BOUND_CONST:
+        raise ValueError(
+            f"clock bound constant {value} exceeds the supported range"
+            f" ±{MAX_BOUND_CONST} (see repro.dbm.bounds.MAX_BOUND_CONST)"
+        )
+    return value
+
+
 def bound(value: int, strict: bool) -> int:
     """Encode the bound ``x - y < value`` (strict) or ``x - y <= value``."""
-    return (value << 1) | (0 if strict else 1)
+    return (check_const(value) << 1) | (0 if strict else 1)
 
 
 def le(value: int) -> int:
     """Encode ``<= value``."""
-    return (value << 1) | 1
+    return (check_const(value) << 1) | 1
 
 
 def lt(value: int) -> int:
     """Encode ``< value``."""
-    return value << 1
+    return check_const(value) << 1
 
 
 def bound_value(enc: int) -> int:

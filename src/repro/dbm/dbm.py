@@ -13,12 +13,14 @@ pointwise comparisons.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..util import counters
 from .bounds import (
     INF,
+    INF_SOFT,
     LE_ZERO,
     add_bounds,
     bound_as_string,
@@ -32,19 +34,69 @@ Constraint = Tuple[int, int, int]  # (i, j, encoded bound): x_i - x_j ≺ b
 def _saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Vectorized encoded-bound addition with INF saturation."""
     total = a + b - ((a | b) & 1)
-    return np.where((a >= INF) | (b >= INF), INF, total)
+    np.copyto(total, INF, where=(a >= INF) | (b >= INF))
+    return total
+
+
+def _reclose_through(m: np.ndarray, i: int, j: int, enc: int) -> None:
+    """Incremental re-closure after tightening ``m[i, j]`` to ``enc``.
+
+    Any shortest path can now route p -> i -> j -> q.  Uses the same
+    drift-tolerant addition as :meth:`DBM._close` (one INF clamp at the
+    end instead of per-step masking).
+    """
+    col = m[:, i : i + 1]
+    t = col + enc - ((col | enc) & 1)
+    row = m[j : j + 1, :]
+    via = t + row - ((t | row) & 1)
+    np.minimum(m, via, out=m)
+    np.copyto(m, INF, where=m >= INF_SOFT)
+
+
+# Shared immutable template instances per dimension.  DBMs are never
+# mutated after construction, so the universal/zero/empty zone of each
+# dimension can be a singleton: construction becomes a dict lookup and
+# ``is_universal`` an identity/array comparison against the template
+# instead of a fresh allocation per call.  The backing matrices are
+# marked read-only as a tripwire against accidental in-place writes.
+_UNIVERSAL: Dict[int, "DBM"] = {}
+_ZERO: Dict[int, "DBM"] = {}
+_EMPTY: Dict[int, "DBM"] = {}
+
+# Extrapolation runs once per freshly interned graph node against the
+# same few max-constant vectors, so the comparison matrices derived from
+# them are cached: row_caps[i, j] is the bound value above which entry
+# (i, j) widens to INF (sentinel-huge on row 0 and the diagonal, which
+# never widen), low_caps/low_repl drive the row-0 lower-bound clamp.
+_EXTRA_CAPS: Dict[Tuple[int, Tuple[int, ...]], Tuple[np.ndarray, ...]] = {}
+
+
+def _extra_caps(dim: int, key: Tuple[int, ...]):
+    caps = _EXTRA_CAPS.get((dim, key))
+    if caps is None:
+        huge = np.int64(INF)
+        k_arr = np.asarray(key, dtype=np.int64)
+        row_caps = np.broadcast_to(k_arr[:, None], (dim, dim)).copy()
+        row_caps[0, :] = huge
+        np.fill_diagonal(row_caps, huge)
+        low_caps = (-k_arr).copy()
+        low_caps[0] = -huge
+        low_repl = (-k_arr) << 1  # encode (-k_j, <)
+        caps = _EXTRA_CAPS[(dim, key)] = (row_caps, low_caps, low_repl)
+    return caps
 
 
 class DBM:
     """A canonical difference bound matrix (a convex clock zone)."""
 
-    __slots__ = ("m", "dim", "_empty", "_hash")
+    __slots__ = ("m", "dim", "_empty", "_hash", "_key")
 
     def __init__(self, matrix: np.ndarray, *, empty: bool = False):
         self.m = matrix
         self.dim = matrix.shape[0]
         self._empty = empty
         self._hash: Optional[int] = None
+        self._key: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,22 +105,34 @@ class DBM:
     @classmethod
     def universal(cls, dim: int) -> "DBM":
         """The zone of all clock valuations (only ``x_i >= 0``)."""
-        m = np.full((dim, dim), INF, dtype=np.int64)
-        m[0, :] = LE_ZERO
-        np.fill_diagonal(m, LE_ZERO)
-        return cls(m)
+        cached = _UNIVERSAL.get(dim)
+        if cached is None:
+            m = np.full((dim, dim), INF, dtype=np.int64)
+            m[0, :] = LE_ZERO
+            np.fill_diagonal(m, LE_ZERO)
+            m.setflags(write=False)
+            cached = _UNIVERSAL[dim] = cls(m)
+        return cached
 
     @classmethod
     def zero(cls, dim: int) -> "DBM":
         """The singleton zone where every clock equals 0."""
-        m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
-        return cls(m)
+        cached = _ZERO.get(dim)
+        if cached is None:
+            m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
+            m.setflags(write=False)
+            cached = _ZERO[dim] = cls(m)
+        return cached
 
     @classmethod
     def empty(cls, dim: int) -> "DBM":
         """A canonical empty zone."""
-        m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
-        return cls(m, empty=True)
+        cached = _EMPTY.get(dim)
+        if cached is None:
+            m = np.full((dim, dim), LE_ZERO, dtype=np.int64)
+            m.setflags(write=False)
+            cached = _EMPTY[dim] = cls(m, empty=True)
+        return cached
 
     @classmethod
     def from_constraints(cls, dim: int, constraints: Iterable[Constraint]) -> "DBM":
@@ -87,7 +151,8 @@ class DBM:
         """True iff the zone is all of ``R_{>=0}^clocks``."""
         if self._empty:
             return False
-        return self.equals(DBM.universal(self.dim))
+        template = DBM.universal(self.dim)
+        return self is template or bool(np.array_equal(self.m, template.m))
 
     def __bool__(self) -> bool:
         return not self._empty
@@ -104,17 +169,29 @@ class DBM:
             return True
         if self._empty:
             return False
-        return bool(np.all(self.m >= other.m))
+        return bool((self.m >= other.m).all())
 
     def intersects(self, other: "DBM") -> bool:
         """Whether the zones share a point."""
-        return not self.intersect(other).is_empty()
+        return not (self._empty or other._empty or self.disjoint_from(other))
+
+    def disjoint_from(self, other: "DBM") -> bool:
+        """Exact O(dim^2) disjointness test for canonical nonempty zones.
+
+        Two canonical zones are disjoint iff some pair of opposing bounds
+        closes a negative cycle: ``self[i,j] + other[j,i] < (0, <=)``.
+        """
+        total = _saturating_add(self.m, other.m.T)
+        return bool((total < LE_ZERO).any())
 
     def hash_key(self) -> bytes:
         """A bytes key identifying this zone (canonical forms are unique)."""
-        if self._empty:
-            return b"empty:%d" % self.dim
-        return self.m.tobytes()
+        if self._key is None:
+            if self._empty:
+                self._key = b"empty:%d" % self.dim
+            else:
+                self._key = self.m.tobytes()
+        return self._key
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -130,12 +207,21 @@ class DBM:
 
     @staticmethod
     def _close(m: np.ndarray) -> bool:
-        """Floyd-Warshall closure in place; returns False if inconsistent."""
+        """Floyd-Warshall closure in place; returns False if inconsistent.
+
+        Uses drift-tolerant bound addition: no INF masking inside the
+        loop, one clamp of everything above INF_SOFT at the end (see
+        :data:`repro.dbm.bounds.INF_SOFT`).
+        """
+        counters.inc("dbm.closures")
         dim = m.shape[0]
         for k in range(dim):
-            through_k = _saturating_add(m[:, k : k + 1], m[k : k + 1, :])
+            col = m[:, k : k + 1]
+            row = m[k : k + 1, :]
+            through_k = col + row - ((col | row) & 1)
             np.minimum(m, through_k, out=m)
-        if bool(np.any(np.diagonal(m) < LE_ZERO)):
+        np.copyto(m, INF, where=m >= INF_SOFT)
+        if bool((np.diagonal(m) < LE_ZERO).any()):
             return False
         return True
 
@@ -170,21 +256,30 @@ class DBM:
             return DBM.empty(self.dim)
         m = self.m.copy()
         m[i, j] = enc
-        # Re-close: any shortest path can now route p -> i -> j -> q.
-        via = _saturating_add(
-            _saturating_add(m[:, i : i + 1], np.int64(enc)), m[j : j + 1, :]
-        )
-        np.minimum(m, via, out=m)
+        _reclose_through(m, i, j, enc)
         return DBM(m)
 
     def constrained(self, constraints: Iterable[Constraint]) -> "DBM":
-        """Intersect with a conjunction of constraints."""
-        zone = self
+        """Intersect with a conjunction of constraints.
+
+        Equivalent to chained :meth:`tighten`, but copies the matrix at
+        most once and tightens in place — constraining is the single
+        most frequent zone operation (every guard and invariant).
+        """
+        if self._empty:
+            return self
+        m: Optional[np.ndarray] = None
         for i, j, enc in constraints:
-            zone = zone.tighten(i, j, enc)
-            if zone._empty:
-                break
-        return zone
+            cur = self.m if m is None else m
+            if enc >= cur[i, j]:
+                continue
+            if add_bounds(int(cur[j, i]), enc) < LE_ZERO:
+                return DBM.empty(self.dim)
+            if m is None:
+                m = self.m.copy()
+            m[i, j] = enc
+            _reclose_through(m, i, j, enc)
+        return self if m is None else DBM(m)
 
     def intersect(self, other: "DBM") -> "DBM":
         """Zone intersection (canonical)."""
@@ -194,6 +289,8 @@ class DBM:
             return other
         if other.includes(self):
             return self
+        if self.disjoint_from(other):
+            return DBM.empty(self.dim)
         m = np.minimum(self.m, other.m)
         return DBM._from_raw(m)
 
@@ -292,26 +389,17 @@ class DBM:
         """
         if self._empty:
             return self
-        m = self.m.copy()
-        dim = self.dim
-        changed = False
-        for i in range(1, dim):
-            k_i = max_consts[i]
-            for j in range(dim):
-                if i == j:
-                    continue
-                enc = m[i, j]
-                if enc < INF and (enc >> 1) > k_i:
-                    m[i, j] = INF
-                    changed = True
-        for j in range(1, dim):
-            k_j = max_consts[j]
-            enc = m[0, j]
-            if enc < INF and (enc >> 1) < -k_j:
-                m[0, j] = (-k_j) << 1  # encode (-k_j, <)
-                changed = True
-        if not changed:
+        m = self.m
+        row_caps, low_caps, low_repl = _extra_caps(self.dim, tuple(max_consts))
+        upper = (m < INF) & ((m >> 1) > row_caps)
+        low_row = m[0]
+        lower = (low_row < INF) & ((low_row >> 1) < low_caps)
+        if not (upper.any() or lower.any()):
             return self
+        m = m.copy()
+        m[upper] = INF
+        if lower.any():
+            m[0, lower] = low_repl[lower]
         return DBM._from_raw(m)
 
     # ------------------------------------------------------------------

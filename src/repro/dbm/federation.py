@@ -5,14 +5,56 @@ valuations as a list of nonempty canonical DBMs.  The list is kept small
 by subsumption reduction (zones contained in a sibling zone are dropped)
 but is not guaranteed minimal; set-level comparisons (:meth:`includes`,
 :meth:`equals`) are exact, via zone subtraction.
+
+DESIGN — the stacked representation
+===================================
+
+The public API hands out per-zone :class:`~repro.dbm.dbm.DBM` objects
+(``fed.zones``), but internally every bulk operation runs on the *stack*:
+the members' matrices gathered into one ``(k, dim, dim)`` int64 array
+(:mod:`repro.dbm.stack`).  At game dimensions (dim <= 8) the cost of a
+per-zone numpy call is dominated by allocation and Python dispatch, so
+``up``/``down``/``reset``/``free``/``constrained``/``extrapolate``/
+``intersect`` each make **one** batched kernel call — a single
+Floyd-Warshall sweep closes every member at once — and subsumption
+reduction is one broadcast ``all(a >= b)`` comparison over all pairs
+instead of O(k^2) Python-level ``includes`` calls.  The zones handed
+back out are views into the result stack, so no per-zone copies are made
+either.
+
+When are the subsumption pre-filters exact?  Pointwise matrix comparison
+(``stack.inclusion_matrix``) decides ``a ⊆ b`` *exactly* when both sides
+are single canonical zones — that is what reduction and the
+``includes``/``subtract`` pre-filters rely on.  It is only *sufficient*
+(never necessary) evidence for inclusion in a **union** of zones: a zone
+can be covered by several siblings jointly without being inside any one
+of them.  So :meth:`includes`, :meth:`subtract` and :meth:`compact`
+first discharge the cheap pointwise cases in bulk and fall back to exact
+zone subtraction — whose answer is definitive — only for the leftovers.
+Disjointness (``stack.disjoint_mask``) is exact in both roles and prunes
+the subtraction loops further.
+
+Hybrid dispatch: below ``_BATCH_MIN`` member zones the per-zone DBM path
+is used instead — at one or two members the stacked kernel's fixed cost
+(gather, masks, re-wrap) exceeds the dispatch overhead it amortizes, and
+solver federations on near-convex models stay that small.  Both paths
+compute the same sets; the differential kernel tests drive each op
+through both and assert extensional equality.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from .bounds import INF, negate
+import numpy as np
+
+from ..util import counters
+from . import stack as _sk
+from .bounds import INF, LE_ZERO, negate
 from .dbm import DBM
+
+#: Below this many member zones, per-zone DBM ops beat the batched kernel.
+_BATCH_MIN = 3
 
 
 def subtract_zone(a: DBM, b: DBM) -> List[DBM]:
@@ -29,6 +71,9 @@ def subtract_zone(a: DBM, b: DBM) -> List[DBM]:
         return [a]
     if b.includes(a):
         return []
+    if a.disjoint_from(b):
+        return [a]
+    counters.inc("federation.zone_subtractions")
     pieces: List[DBM] = []
     rem = a
     for i, j, enc in b.nontrivial_constraints():
@@ -48,11 +93,38 @@ def subtract_zone(a: DBM, b: DBM) -> List[DBM]:
 class Federation:
     """An immutable union of convex zones over a common clock set."""
 
-    __slots__ = ("dim", "zones")
+    __slots__ = ("dim", "zones", "_hash_key")
 
     def __init__(self, dim: int, zones: Iterable[DBM] = ()):
         self.dim = dim
-        self.zones: List[DBM] = _reduce([z for z in zones if not z.is_empty()])
+        kept = [z for z in zones if not z.is_empty()]
+        self.zones: List[DBM] = _reduce(kept) if len(kept) > 1 else kept
+        self._hash_key: Optional[bytes] = None
+        counters.observe("federation.zones", len(self.zones))
+
+    @classmethod
+    def _wrap(cls, dim: int, zones: List[DBM]) -> "Federation":
+        """Adopt an already-reduced zone list without re-reducing."""
+        fed = cls.__new__(cls)
+        fed.dim = dim
+        fed.zones = zones
+        fed._hash_key = None
+        return fed
+
+    def _stack(self) -> np.ndarray:
+        """The members' matrices as one ``(k, dim, dim)`` array (a copy)."""
+        return _sk.stack_of(self.zones)
+
+    @classmethod
+    def _from_stack(
+        cls, dim: int, stacked: np.ndarray, keep: Optional[np.ndarray] = None
+    ) -> "Federation":
+        """Wrap surviving stack rows as zones (views, no copies) and reduce."""
+        if keep is None:
+            rows = range(stacked.shape[0])
+        else:
+            rows = np.flatnonzero(keep)
+        return cls(dim, [DBM(stacked[i]) for i in rows])
 
     # ------------------------------------------------------------------
     # Construction
@@ -105,25 +177,63 @@ class Federation:
 
     def includes(self, other: "Federation") -> bool:
         """Exact set inclusion ``other ⊆ self``."""
-        for zone in other.zones:
-            leftover = [zone]
-            for mine in self.zones:
-                next_leftover: List[DBM] = []
-                for piece in leftover:
-                    next_leftover.extend(subtract_zone(piece, mine))
-                leftover = next_leftover
-                if not leftover:
-                    break
-            if leftover:
+        if not other.zones:
+            return True
+        if not self.zones:
+            return False
+        if len(self.zones) == 1:
+            # Inclusion in a single convex zone is pointwise, hence exact.
+            mine = self.zones[0]
+            return all(mine.includes(z) for z in other.zones)
+        # Pre-filter: zones of `other` pointwise-included in a single zone
+        # of `self` need no subtraction (exact per pair of convex zones).
+        if len(self.zones) + len(other.zones) < 2 * _BATCH_MIN:
+            for zone in other.zones:
+                if any(mine.includes(zone) for mine in self.zones):
+                    continue
+                counters.inc("federation.includes_exact_fallbacks")
+                if not self._covers_zone(zone):
+                    return False
+            return True
+        mine_stack = self._stack()
+        theirs = other._stack()
+        covered = _sk.inclusion_matrix(mine_stack, theirs).any(axis=0)
+        if covered.all():
+            counters.inc("federation.includes_prefilter_hits")
+            return True
+        counters.inc("federation.includes_exact_fallbacks")
+        for idx in np.flatnonzero(~covered):
+            if not self._covers_zone(other.zones[idx]):
                 return False
         return True
 
+    def _covers_zone(self, zone: DBM) -> bool:
+        """Exact test ``zone ⊆ union(self.zones)`` via subtraction."""
+        leftover = [zone]
+        for mine in self.zones:
+            next_leftover: List[DBM] = []
+            for piece in leftover:
+                next_leftover.extend(subtract_zone(piece, mine))
+            leftover = next_leftover
+            if not leftover:
+                return True
+        return not leftover
+
     def includes_zone(self, zone: DBM) -> bool:
         """Exact test ``zone ⊆ self``."""
-        return self.includes(Federation.from_zone(zone))
+        if zone.is_empty():
+            return True
+        if not self.zones:
+            return False
+        for mine in self.zones:
+            if mine.includes(zone):
+                return True
+        return self._covers_zone(zone)
 
     def equals(self, other: "Federation") -> bool:
         """Exact set equality (mutual inclusion)."""
+        if self.hash_key() == other.hash_key():
+            return True  # identical reduced zone sets
         return self.includes(other) and other.includes(self)
 
     def intersects(self, other: "Federation") -> bool:
@@ -131,9 +241,11 @@ class Federation:
         return any(a.intersects(b) for a in self.zones for b in other.zones)
 
     def hash_key(self) -> bytes:
-        """An order-insensitive bytes key over the member zones."""
-        keys = sorted(z.hash_key() for z in self.zones)
-        return b"|".join(keys)
+        """An order-insensitive bytes key over the member zones (memoized)."""
+        if self._hash_key is None:
+            keys = sorted(z.hash_key() for z in self.zones)
+            self._hash_key = b"|".join(keys)
+        return self._hash_key
 
     # ------------------------------------------------------------------
     # Set operations
@@ -154,29 +266,68 @@ class Federation:
         return Federation(self.dim, self.zones + [zone])
 
     def intersect(self, other: "Federation") -> "Federation":
-        """Set intersection (pairwise over member zones)."""
-        out: List[DBM] = []
-        for a in self.zones:
-            for b in other.zones:
-                c = a.intersect(b)
-                if not c.is_empty():
-                    out.append(c)
-        return Federation(self.dim, out)
+        """Set intersection (pairwise over member zones, batched when
+        the pair count is large enough to amortize one stacked closure)."""
+        if not self.zones or not other.zones:
+            return Federation.empty(self.dim)
+        if len(self.zones) * len(other.zones) < _BATCH_MIN * _BATCH_MIN:
+            out: List[DBM] = []
+            for a in self.zones:
+                for b in other.zones:
+                    c = a.intersect(b)
+                    if not c.is_empty():
+                        out.append(c)
+            return Federation(self.dim, out)
+        stacked, keep = _sk.pairwise_intersect(self._stack(), other._stack())
+        return Federation._from_stack(self.dim, stacked, keep)
 
     def intersect_zone(self, zone: DBM) -> "Federation":
         """Intersection with a single zone."""
-        out = []
-        for a in self.zones:
-            c = a.intersect(zone)
-            if not c.is_empty():
-                out.append(c)
-        return Federation(self.dim, out)
+        if zone.is_empty() or not self.zones:
+            return Federation.empty(self.dim)
+        if len(self.zones) < _BATCH_MIN:
+            out = []
+            for a in self.zones:
+                c = a.intersect(zone)
+                if not c.is_empty():
+                    out.append(c)
+            return Federation(self.dim, out)
+        stacked = self._stack()
+        keep = _sk.intersect_zone(stacked, zone.m)
+        return Federation._from_stack(self.dim, stacked, keep)
 
     def subtract_dbm(self, zone: DBM) -> "Federation":
         """Set difference ``self \\ zone`` (exact, possibly more zones)."""
-        out: List[DBM] = []
-        for a in self.zones:
-            out.extend(subtract_zone(a, zone))
+        if zone.is_empty() or not self.zones:
+            return self
+        if len(self.zones) < _BATCH_MIN:
+            out: List[DBM] = []
+            changed = False
+            for a in self.zones:
+                pieces = subtract_zone(a, zone)
+                out.extend(pieces)
+                changed = changed or len(pieces) != 1 or pieces[0] is not a
+            if not changed:
+                return self
+            return Federation(self.dim, out)
+        # Pre-filters: disjoint members survive whole; members pointwise
+        # inside `zone` vanish; only the rest need exact subtraction.
+        stacked = self._stack()
+        untouched = _sk.disjoint_mask(stacked, zone.m)
+        gone = _sk.inclusion_matrix(zone.m[None], stacked)[0]
+        out = []
+        changed = False
+        for idx, a in enumerate(self.zones):
+            if untouched[idx]:
+                out.append(a)
+            elif gone[idx]:
+                changed = True
+            else:
+                pieces = subtract_zone(a, zone)
+                out.extend(pieces)
+                changed = changed or len(pieces) != 1 or pieces[0] is not a
+        if not changed:
+            return self
         return Federation(self.dim, out)
 
     def subtract(self, other: "Federation") -> "Federation":
@@ -193,63 +344,146 @@ class Federation:
         return Federation.from_zone(universe).subtract(self)
 
     # ------------------------------------------------------------------
-    # Timed operators (zone-wise maps)
+    # Timed operators (batched over the member stack)
     # ------------------------------------------------------------------
 
     def _map(self, fn: Callable[[DBM], DBM]) -> "Federation":
         return Federation(self.dim, (fn(z) for z in self.zones))
 
+    def _batchable(self) -> bool:
+        return len(self.zones) >= _BATCH_MIN
+
     def up(self) -> "Federation":
         """Delay successors of every member zone."""
-        return self._map(lambda z: z.up())
+        if not self.zones:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.up())
+        stacked = self._stack()
+        _sk.up(stacked)
+        return Federation._from_stack(self.dim, stacked)
 
     def down(self) -> "Federation":
         """Delay predecessors of every member zone."""
-        return self._map(lambda z: z.down())
+        if not self.zones:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.down())
+        stacked = self._stack()
+        keep = _sk.down(stacked)
+        return Federation._from_stack(self.dim, stacked, keep)
 
     def reset(self, clocks: Sequence[int]) -> "Federation":
         """Reset the given clocks to 0 in every member zone."""
-        return self._map(lambda z: z.reset(clocks))
+        if not self.zones or not clocks:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.reset(clocks))
+        stacked = self._stack()
+        _sk.reset(stacked, clocks)
+        return Federation._from_stack(self.dim, stacked)
 
     def free(self, clocks: Sequence[int]) -> "Federation":
         """Drop all constraints on the given clocks."""
-        return self._map(lambda z: z.free(clocks))
+        if not self.zones or not clocks:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.free(clocks))
+        stacked = self._stack()
+        _sk.free(stacked, clocks)
+        return Federation._from_stack(self.dim, stacked)
 
     def reset_pred(self, clocks: Sequence[int]) -> "Federation":
         """Pre-image of a reset-to-zero of the given clocks."""
-        return self._map(lambda z: z.reset_pred(clocks))
+        if not self.zones or not clocks:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.reset_pred(clocks))
+        stacked = self._stack()
+        keep = _sk.constrain(stacked, [(x, 0, LE_ZERO) for x in clocks])
+        if not keep.any():
+            return Federation.empty(self.dim)
+        stacked = stacked[keep]
+        _sk.free(stacked, clocks)
+        return Federation._from_stack(self.dim, stacked)
 
     def assign_clocks(self, pairs) -> "Federation":
         """Assign constants to clocks in every member zone."""
-        return self._map(lambda z: z.assign_clocks(pairs))
+        if not self.zones or not pairs:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.assign_clocks(pairs))
+        stacked = self._stack()
+        _sk.reset(stacked, [x for x, _ in pairs])
+        shifts = [(x, c) for x, c in pairs if c != 0]
+        if shifts:
+            _sk.shift(stacked, shifts)
+        return Federation._from_stack(self.dim, stacked)
 
     def assign_pred(self, pairs) -> "Federation":
         """Pre-image of constant clock assignments."""
-        return self._map(lambda z: z.assign_pred(pairs))
+        if not self.zones or not pairs:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.assign_pred(pairs))
+        fixed = [(x, 0, (c << 1) | 1) for x, c in pairs] + [
+            (0, x, ((-c) << 1) | 1) for x, c in pairs
+        ]
+        stacked = self._stack()
+        keep = _sk.constrain(stacked, fixed)
+        if not keep.any():
+            return Federation.empty(self.dim)
+        stacked = stacked[keep]
+        _sk.free(stacked, [x for x, _ in pairs])
+        return Federation._from_stack(self.dim, stacked)
 
     def constrained(self, constraints) -> "Federation":
         """Intersect every member zone with encoded constraints."""
-        return self._map(lambda z: z.constrained(constraints))
+        if not self.zones:
+            return self
+        constraints = list(constraints)
+        if not constraints:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.constrained(constraints))
+        stacked = self._stack()
+        keep = _sk.constrain(stacked, constraints)
+        return Federation._from_stack(self.dim, stacked, keep)
 
     def extrapolate(self, max_consts: Sequence[int]) -> "Federation":
         """ExtraM extrapolation of every member zone."""
-        return self._map(lambda z: z.extrapolate(max_consts))
+        if not self.zones:
+            return self
+        if not self._batchable():
+            return self._map(lambda z: z.extrapolate(max_consts))
+        stacked = self._stack()
+        keep = _sk.extrapolate(stacked, max_consts)
+        return Federation._from_stack(self.dim, stacked, keep)
 
     def compact(self) -> "Federation":
-        """Drop zones covered by the union of the remaining zones (exact)."""
+        """Drop zones covered by the union of the remaining zones (exact).
+
+        Incremental single pass: dropping a covered zone never changes the
+        union, so earlier coverage verdicts stay valid and no restart is
+        needed (checks against the shrunken remainder are merely more
+        conservative, never wrong).
+        """
+        if len(self.zones) <= 1:
+            return self
         kept: List[DBM] = list(self.zones)
-        changed = True
-        while changed:
-            changed = False
-            for idx, zone in enumerate(kept):
-                rest = Federation(self.dim, kept[:idx] + kept[idx + 1 :])
-                if rest.includes_zone(zone):
-                    kept.pop(idx)
-                    changed = True
-                    break
-        out = Federation.empty(self.dim)
-        out.zones = kept
-        return out
+        idx = 0
+        dropped = False
+        while idx < len(kept):
+            zone = kept[idx]
+            rest = Federation._wrap(self.dim, kept[:idx] + kept[idx + 1 :])
+            if rest.includes_zone(zone):
+                kept.pop(idx)
+                dropped = True
+            else:
+                idx += 1
+        if not dropped:
+            return self
+        return Federation._wrap(self.dim, kept)
 
     # ------------------------------------------------------------------
     # Printing
@@ -269,11 +503,25 @@ class Federation:
 
 
 def _reduce(zones: List[DBM]) -> List[DBM]:
-    """Drop zones pairwise included in another zone (cheap reduction)."""
+    """Drop zones pairwise included in another zone (cheap reduction).
+
+    Small lists use the legacy per-pair loop; larger ones one batched
+    inclusion-matrix comparison (identical keep/drop semantics, kept
+    separately as the reference implementation for the differential
+    kernel tests).
+    """
+    if len(zones) > 2:
+        keep = _sk.reduce_indices(_sk.stack_of(zones))
+        return [zones[i] for i in keep]
+    return _reduce_pairwise(zones)
+
+
+def _reduce_pairwise(zones: List[DBM]) -> List[DBM]:
+    """Reference per-pair subsumption reduction (legacy implementation)."""
     kept: List[DBM] = []
     for zone in zones:
         dominated = False
-        for idx, other in enumerate(kept):
+        for other in kept:
             if other.includes(zone):
                 dominated = True
                 break

@@ -37,7 +37,14 @@ class ClockAtom:
 
     def constraints(self, ctx: Context) -> List[Tuple[int, int, int]]:
         """Encoded DBM constraints for this atom in a discrete context."""
+        from ..dbm.bounds import MAX_BOUND_CONST
+
         k = evaluate(self.rhs, ctx)
+        if not -MAX_BOUND_CONST <= k <= MAX_BOUND_CONST:
+            raise GuardError(
+                f"clock bound constant {k} exceeds the supported range"
+                f" ±{MAX_BOUND_CONST}"
+            )
         i, j = self.i, self.j
         if self.op == "<":
             return [(i, j, k << 1)]

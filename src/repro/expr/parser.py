@@ -47,14 +47,29 @@ class ParseError(ValueError):
     """Raised on malformed expression syntax."""
 
 
+#: Memoized parses.  AST nodes are frozen dataclasses, so sharing one
+#: tree among all users of the same source text is safe; model builders
+#: and the random-instance generator parse the same guard strings over
+#: and over.  Bounded to keep adversarial workloads from hoarding memory.
+_PARSE_CACHE: dict = {}
+_ASSIGN_CACHE: dict = {}
+_PARSE_CACHE_LIMIT = 16384
+
+
 def parse_expression(text: str) -> Expr:
-    """Parse a single boolean/integer expression."""
+    """Parse a single boolean/integer expression (memoized per text)."""
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
     stream = TokenStream.of(text)
     expr = _parse_expr(stream)
     if not stream.at_end():
         raise ParseError(
             f"trailing input at position {stream.current.pos} in {text!r}"
         )
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[text] = expr
     return expr
 
 
@@ -63,6 +78,9 @@ def parse_assignments(text: str) -> List[Assignment]:
     text = text.strip()
     if not text:
         return []
+    cached = _ASSIGN_CACHE.get(text)
+    if cached is not None:
+        return list(cached)
     stream = TokenStream.of(text)
     assignments = [_parse_assignment(stream)]
     while stream.match("op", ","):
@@ -71,6 +89,9 @@ def parse_assignments(text: str) -> List[Assignment]:
         raise ParseError(
             f"trailing input at position {stream.current.pos} in {text!r}"
         )
+    if len(_ASSIGN_CACHE) >= _PARSE_CACHE_LIMIT:
+        _ASSIGN_CACHE.clear()
+    _ASSIGN_CACHE[text] = tuple(assignments)
     return assignments
 
 

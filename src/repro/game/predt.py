@@ -42,37 +42,30 @@ def up_strict(zone: DBM) -> DBM:
     return DBM(m)  # removing uppers / stricter lowers preserves canonicity
 
 
-def _pair(g: DBM, b: DBM, lenient: bool) -> Federation:
-    """Per-convex-pair Predt term."""
-    dim = g.dim
-    g_down = g.down()
-    b_down = b.down()
-    result = Federation.from_zone(g_down).subtract_dbm(b_down)
-    overlap = g.intersect(b_down)
-    if not overlap.is_empty():
-        blocker = up_strict(b) if lenient else b
-        arrivals = Federation.from_zone(overlap).subtract_dbm(blocker)
-        result = result.union(arrivals.down())
-    return result
-
-
 def predt(goal: Federation, bad: Federation, *, lenient: bool = False) -> Federation:
     """``Predt(goal, bad)`` over federations.
 
     With ``lenient=True`` the arrival instant may coincide with ``bad``
     (use for goal / forced-move targets); the start instant must avoid
     ``bad`` either way unless the delay is zero and ``lenient`` holds.
+
+    Works federation-at-a-time: ``Predt(∪_i g_i, b) = ∪_i Predt(g_i, b)``
+    lets the per-goal-zone loop collapse into batched federation kernels,
+    with ``goal↓`` computed once and shared across all bad zones.
     """
-    dim = goal.dim
     if goal.is_empty():
         return goal
+    goal_down = goal.down()
     if bad.is_empty():
-        return goal.down()
+        return goal_down
     result: Optional[Federation] = None
     for b in bad.zones:
-        acc = Federation.empty(dim)
-        for g in goal.zones:
-            acc = acc.union(_pair(g, b, lenient))
+        b_down = b.down()
+        acc = goal_down.subtract_dbm(b_down)
+        overlap = goal.intersect_zone(b_down)
+        if not overlap.is_empty():
+            blocker = up_strict(b) if lenient else b
+            acc = acc.union(overlap.subtract_dbm(blocker).down())
         if lenient:
             # Zero-delay arrival in the goal always wins under [0, δ).
             acc = acc.union(goal)

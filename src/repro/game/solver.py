@@ -56,6 +56,7 @@ from ..graph.explorer import ExplorationLimit, GraphNode, SimulationGraph
 from ..semantics.system import System
 from ..tctl.goals import GoalPredicate
 from ..tctl.query import Query, REACH_GAME
+from ..util import counters
 from .predt import predt_mixed
 
 
@@ -70,6 +71,7 @@ class NodeWin:
     win: Federation
     goal: Federation
     layers: List[Tuple[int, Federation]] = field(default_factory=list)
+    version: int = 0  # fixpoint step of the latest growth
 
     def rank_of(self, valuation) -> Optional[int]:
         """The fixpoint step at which this concrete state became winning."""
@@ -137,6 +139,25 @@ class _BaseSolver:
         self._goal_cache: Dict[int, Federation] = {}
         self._step = 0
         self._empty = Federation.empty(system.dim)
+        # Incremental-fixpoint caches.  Winning sets only grow, so
+        # ``Pred_e(Win(n'))`` pieces are permanently valid: per
+        # controllable edge we remember the successor win-version already
+        # folded into the node's accumulated G_act and only push the
+        # *increment* through Pred_e when the successor grew.  Losing
+        # sets ``Z(n') \ Win(n')`` shrink instead, so their preds are
+        # cached per edge keyed by the successor version and recomputed
+        # on version change.  ``Pred_e(Z(n'))`` and the boundary are
+        # static per node and cached outright.  Keys use ``id(edge)`` —
+        # edges are kept alive by their graph nodes.
+        self._gact_acc: Dict[int, Federation] = {}  # node.id -> G_act
+        self._edge_seen: Dict[int, int] = {}  # id(edge) -> folded version
+        self._pred_win_acc: Dict[int, Federation] = {}  # id(edge), u-edges
+        self._bad_cache: Dict[int, Federation] = {}  # id(edge) -> B_e
+        self._uen_edge: Dict[int, Federation] = {}  # id(edge) -> Pred(Z(n'))
+        self._uen_cache: Dict[int, Federation] = {}  # node.id -> union
+        self._boundary_cache: Dict[int, Federation] = {}
+        self._eval_sig: Dict[int, Tuple[int, ...]] = {}
+        self._delta_cache: Dict[tuple, Federation] = {}
 
     # ------------------------------------------------------------------
     # Per-node pieces
@@ -154,30 +175,160 @@ class _BaseSolver:
         return self._empty if entry is None else entry.win
 
     def _boundary(self, node: GraphNode) -> Federation:
-        """States of the node where the invariant blocks any delay."""
+        """States of the node where the invariant blocks any delay (cached:
+        depends only on the node's static zone and invariant)."""
+        cached = self._boundary_cache.get(node.id)
+        if cached is not None:
+            return cached
         sym = node.sym
         if not self.system.can_delay(sym.locs):
-            return Federation.from_zone(sym.zone)
-        inv = self.system.invariant_zone(sym.locs, sym.vars)
-        result = self._empty
-        for i in range(1, self.system.dim):
-            enc = int(inv.m[i, 0])
-            if enc >= INF:
-                continue
-            value, strict = decode(enc)
-            if strict:
-                continue  # no last instant under a strict bound
-            face = sym.zone.constrained(
-                [(i, 0, (value << 1) | 1), (0, i, ((-value) << 1) | 1)]
-            )
-            if not face.is_empty():
-                result = result.union_zone(face)
+            result = Federation.from_zone(sym.zone)
+        else:
+            inv = self.system.invariant_zone(sym.locs, sym.vars)
+            result = self._empty
+            for i in range(1, self.system.dim):
+                enc = int(inv.m[i, 0])
+                if enc >= INF:
+                    continue
+                value, strict = decode(enc)
+                if strict:
+                    continue  # no last instant under a strict bound
+                face = sym.zone.constrained(
+                    [(i, 0, (value << 1) | 1), (0, i, ((-value) << 1) | 1)]
+                )
+                if not face.is_empty():
+                    result = result.union_zone(face)
+        self._boundary_cache[node.id] = result
         return result
 
-    def _update(self, node: GraphNode) -> Federation:
-        """Recompute the winning federation of a node from its successors."""
+    def win_version(self, node: GraphNode) -> int:
+        """The fixpoint step at which the node's win last grew (0 = never)."""
+        entry = self.wins.get(node.id)
+        return 0 if entry is None else entry.version
+
+    def _win_delta(self, node: GraphNode, since: int) -> Federation:
+        """The union of win increments recorded after step ``since``.
+
+        Memoized per (node, since, version): every in-edge of a grown
+        node asks for the same delta during one propagation round.
+        """
+        entry = self.wins.get(node.id)
+        if entry is None:
+            return self._empty
+        key = (node.id, since, entry.version)
+        cached = self._delta_cache.get(key)
+        if cached is None:
+            zones = [
+                z
+                for step, fed in entry.layers
+                if step > since
+                for z in fed.zones
+            ]
+            cached = (
+                Federation(self.graph.system.dim, zones)
+                if zones
+                else self._empty
+            )
+            if len(self._delta_cache) > 4096:
+                self._delta_cache.clear()  # stale versions dominate; rebuild
+            self._delta_cache[key] = cached
+        return cached
+
+    def _assemble(self, node: GraphNode, g_act, bad, u_enabled) -> Federation:
+        """The fixpoint equation body, given the node's three edge terms."""
         sym = node.sym
         goal = self.goal_fed(node)
+        forced = self._empty
+        if not u_enabled.is_empty():
+            forced = self._boundary(node).intersect(u_enabled).subtract(bad)
+        g_goal = goal.union(forced)
+        if self.system.can_delay(sym.locs):
+            win = predt_mixed(g_act, g_goal, bad).intersect_zone(sym.zone)
+        else:
+            win = g_act.union(g_goal).subtract(bad).union(goal)
+        return win.union(goal).compact()
+
+    def _update(self, node: GraphNode) -> Federation:
+        """Recompute the winning federation of a node from its successors.
+
+        Incremental: per-edge Pred caches mean only edges whose successor
+        win actually changed since the last evaluation do zone work; a
+        node whose successors are all unchanged returns its current win
+        without recomputing anything.
+
+        Both edge terms exploit monotonicity.  ``Pred_e`` is an inverse
+        image (reset pre-image ∩ guard ∩ source zone), so it distributes
+        over union *and* set difference; winning sets only grow, so
+
+        * ``Pred_e(Win(n'))`` is union-accumulated from the increments
+          recorded in the successor's layers, and
+        * ``B_e = Pred_e(Z(n') \\ Win(n')) = Pred_e(Z(n')) \\
+          Pred_e(Win(n'))`` falls out of the same accumulator and the
+          static ``Pred_e(Z(n'))`` without touching the full losing set.
+        """
+        sym = node.sym
+        sig = tuple(self.win_version(e.target) for e in node.out_edges)
+        if self._eval_sig.get(node.id) == sig:
+            counters.inc("solver.update_skipped")
+            return self.win_fed(node)
+        counters.inc("solver.updates")
+        g_act = self._gact_acc.get(node.id, self._empty)
+        u_enabled = self._uen_cache.get(node.id)
+        first_visit = u_enabled is None
+        if first_visit:
+            u_enabled = self._empty
+        bad = self._empty
+        for edge in node.out_edges:
+            eid = id(edge)
+            target_version = self.win_version(edge.target)
+            if edge.move.controllable:
+                seen = self._edge_seen.get(eid, 0)
+                if target_version > seen:
+                    delta = self._win_delta(edge.target, seen)
+                    if not delta.is_empty():
+                        counters.inc("solver.pred_delta")
+                        g_act = g_act.union(
+                            self.system.pred(sym, edge.move, delta)
+                        )
+                    self._edge_seen[eid] = target_version
+                else:
+                    counters.inc("solver.pred_cache_hits")
+                continue
+            uen_e = self._uen_edge.get(eid)
+            if uen_e is None:
+                uen_e = self.system.pred(
+                    sym, edge.move, Federation.from_zone(edge.target.zone)
+                )
+                self._uen_edge[eid] = uen_e
+                u_enabled = u_enabled.union(uen_e)
+            seen = self._edge_seen.get(eid, 0)
+            if target_version > seen or eid not in self._bad_cache:
+                acc = self._pred_win_acc.get(eid, self._empty)
+                if target_version > seen:
+                    delta = self._win_delta(edge.target, seen)
+                    if not delta.is_empty():
+                        counters.inc("solver.pred_delta")
+                        acc = acc.union(self.system.pred(sym, edge.move, delta))
+                        self._pred_win_acc[eid] = acc
+                    self._edge_seen[eid] = target_version
+                self._bad_cache[eid] = uen_e.subtract(acc)
+            else:
+                counters.inc("solver.pred_cache_hits")
+            bad_e = self._bad_cache[eid]
+            if not bad_e.is_empty():
+                bad = bad.union(bad_e)
+        self._gact_acc[node.id] = g_act
+        if first_visit:
+            self._uen_cache[node.id] = u_enabled
+        win = self._assemble(node, g_act, bad, u_enabled)
+        self._eval_sig[node.id] = sig
+        return win
+
+    def recompute_node(self, node: GraphNode) -> Federation:
+        """The fixpoint equation evaluated from scratch, bypassing every
+        incremental cache — the reference implementation ``_update`` must
+        agree with (used by the differential harness's fixpoint check)."""
+        sym = node.sym
         g_act = self._empty
         bad = self._empty
         u_enabled = self._empty
@@ -199,6 +350,7 @@ class _BaseSolver:
         forced = self._empty
         if not u_enabled.is_empty():
             forced = self._boundary(node).intersect(u_enabled).subtract(bad)
+        goal = self.goal_fed(node)
         g_goal = goal.union(forced)
         if self.system.can_delay(sym.locs):
             win = predt_mixed(g_act, g_goal, bad).intersect_zone(sym.zone)
@@ -219,6 +371,7 @@ class _BaseSolver:
         else:
             entry.win = new_win
         entry.layers.append((self._step, increment))
+        entry.version = self._step
         return True
 
     def _initial_winning(self) -> bool:
@@ -341,6 +494,37 @@ class OnTheFlySolver(_BaseSolver):
                     return self._result(started, True)
                 for edge in node.in_edges:
                     enqueue(edge.source)
+        return self._result(started, self._initial_winning())
+
+    def converge(self) -> GameResult:
+        """Resume a finished :meth:`solve` run to the full fixpoint.
+
+        ``solve`` legitimately stops early once the initial state is
+        winning, leaving ``wins`` an under-approximation on the explored
+        subgraph.  This explores the rest of the simulation graph and
+        runs the backward worklist to convergence, after which the
+        per-node winning sets equal the two-phase solver's exactly
+        (the differential harness's strengthened equality check).
+        """
+        started = time.monotonic()
+        deadline = None if self.time_limit is None else started + self.time_limit
+        self.graph.explore_all()
+        queue: deque = deque()
+        queued: Dict[int, bool] = {}
+        for node in self.graph.nodes:
+            queue.append(node)
+            queued[node.id] = True
+        while queue:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ExplorationLimit("game solving timed out")
+            node = queue.popleft()
+            queued[node.id] = False
+            new_win = self._update(node)
+            if self._record_growth(node, new_win):
+                for edge in node.in_edges:
+                    if not queued.get(edge.source.id):
+                        queue.append(edge.source)
+                        queued[edge.source.id] = True
         return self._result(started, self._initial_winning())
 
     def _fully_expanded_for_bad(self, node, seen, frontier) -> bool:

@@ -130,9 +130,10 @@ def check_solvers(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
             system, query, max_nodes=cfg.max_nodes, time_limit=cfg.time_limit
         )
         two = two_solver.solve()
-        otf = OnTheFlySolver(
+        otf_solver = OnTheFlySolver(
             system, query, max_nodes=cfg.max_nodes, time_limit=cfg.time_limit
-        ).solve()
+        )
+        otf = otf_solver.solve()
     except ExplorationLimit as limit:
         return CheckResult("solvers", SKIP, str(limit))
     if two.winning != otf.winning:
@@ -151,21 +152,37 @@ def check_solvers(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
                 FAIL,
                 f"on-the-fly win set at {key} not included in two-phase win",
             )
-    if not two.winning:
-        # Both ran the backward fixpoint to convergence on the fully
-        # explored graph, so the per-state winning sets must coincide.
-        for key, fed in two_map.items():
-            reference = otf_map.get(key)
-            if reference is None or not reference.includes(fed):
-                return CheckResult(
-                    "solvers",
-                    FAIL,
-                    f"two-phase win set at {key} missing from converged"
-                    f" on-the-fly win",
-                )
+    # Converged equality: on lost games both solvers already ran the
+    # fixpoint to convergence; on won games the on-the-fly solver stopped
+    # early, so resume it to convergence first.  Either way the per-state
+    # winning sets must then coincide exactly.
+    if two.winning:
+        try:
+            otf_map = _win_by_key(otf_solver.converge())
+        except ExplorationLimit as limit:
+            return CheckResult("solvers", SKIP, f"convergence resume: {limit}")
+    for key, fed in two_map.items():
+        reference = otf_map.get(key)
+        if reference is None or not reference.includes(fed):
+            return CheckResult(
+                "solvers",
+                FAIL,
+                f"two-phase win set at {key} missing from converged"
+                f" on-the-fly win",
+            )
+    for key, fed in otf_map.items():
+        reference = two_map.get(key)
+        if reference is None or not reference.includes(fed):
+            return CheckResult(
+                "solvers",
+                FAIL,
+                f"converged on-the-fly win at {key} exceeds two-phase win",
+            )
     if cfg.check_fixpoint:
         for node in two.graph.nodes:
-            recomputed = two_solver._update(node)
+            # recompute_node bypasses the solver's incremental caches, so
+            # this doubles as a differential check of the cached _update.
+            recomputed = two_solver.recompute_node(node)
             current = two_solver.win_fed(node)
             if not current.includes(recomputed):
                 return CheckResult(

@@ -19,9 +19,50 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..dbm import DBM
 from ..semantics.state import DiscreteKey, SymbolicState
 from ..semantics.system import Move, System
+
+
+class _ZoneIndex:
+    """Append-only stack of zone matrices with a batched superset probe.
+
+    Interning does one subsumption scan per freshly computed symbolic
+    state; with many nodes per discrete key that is the explorer's inner
+    loop.  Keeping the key's zones stacked in one ``(cap, dim, dim)``
+    buffer turns the scan into a single broadcast comparison.
+    """
+
+    __slots__ = ("buf", "count")
+
+    def __init__(self, dim: int):
+        self.buf = np.empty((4, dim, dim), dtype=np.int64)
+        self.count = 0
+
+    def add(self, matrix: Optional[np.ndarray]) -> None:
+        """Append a zone matrix; None appends a never-matching sentinel
+        (used for empty zones, whose matrix comparison is meaningless)."""
+        if self.count == self.buf.shape[0]:
+            grown = np.empty(
+                (2 * self.count,) + self.buf.shape[1:], dtype=np.int64
+            )
+            grown[: self.count] = self.buf
+            self.buf = grown
+        if matrix is None:
+            self.buf[self.count] = np.iinfo(np.int64).min
+        else:
+            self.buf[self.count] = matrix
+        self.count += 1
+
+    def find_superset(self, matrix: np.ndarray) -> int:
+        """Index of the first stored zone including ``matrix``, or -1."""
+        if not self.count:
+            return -1
+        hits = (self.buf[: self.count] >= matrix).all(axis=(1, 2))
+        idx = int(np.argmax(hits))
+        return idx if hits[idx] else -1
 
 
 class ExplorationLimit(RuntimeError):
@@ -79,6 +120,11 @@ class SimulationGraph:
         self.time_limit = time_limit
         self.nodes: List[GraphNode] = []
         self._by_key: Dict[DiscreteKey, List[GraphNode]] = {}
+        self._zone_index: Dict[DiscreteKey, _ZoneIndex] = {}
+        # Exact-zone memo: a state reached over k edges is interned k
+        # times with byte-identical zones; remembering the resolved node
+        # skips extrapolation and the subsumption scan for repeats.
+        self._intern_memo: Dict[tuple, GraphNode] = {}
         self._expanded: Dict[int, bool] = {}
         self._counter = itertools.count()
         network = system.network
@@ -96,15 +142,35 @@ class SimulationGraph:
     # ------------------------------------------------------------------
 
     def _intern(self, sym: SymbolicState) -> GraphNode:
+        memo_key = (sym.key, sym.zone.hash_key())
+        memoized = self._intern_memo.get(memo_key)
+        if memoized is not None:
+            return memoized
         if self.max_consts is not None:
             sym = SymbolicState(sym.locs, sym.vars, sym.zone.extrapolate(self.max_consts))
-        existing = self._by_key.get(sym.key, [])
-        for node in existing:
-            if node.zone.includes(sym.zone):
-                return node
+        index = self._zone_index.get(sym.key)
+        node: Optional[GraphNode] = None
+        if index is not None:
+            if sym.zone.is_empty():
+                # Empty zones fold into any existing node of the key.
+                for existing in self._by_key[sym.key]:
+                    if existing.zone.includes(sym.zone):
+                        node = existing
+                        break
+            else:
+                hit = index.find_superset(sym.zone.m)
+                if hit >= 0:
+                    node = self._by_key[sym.key][hit]
+        if node is not None:
+            self._intern_memo[memo_key] = node
+            return node
         node = GraphNode(next(self._counter), sym)
         self.nodes.append(node)
         self._by_key.setdefault(sym.key, []).append(node)
+        if index is None:
+            index = self._zone_index[sym.key] = _ZoneIndex(sym.zone.dim)
+        index.add(None if sym.zone.is_empty() else sym.zone.m)
+        self._intern_memo[memo_key] = node
         if self.max_nodes is not None and len(self.nodes) > self.max_nodes:
             raise ExplorationLimit(
                 f"simulation graph exceeded {self.max_nodes} nodes"

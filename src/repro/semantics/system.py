@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from operator import itemgetter
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -36,6 +37,11 @@ from ..expr.env import Declarations
 from ..expr.eval import Context, EvalError, apply_assignments
 from ..ta.model import Automaton, Edge, ModelError, Network
 from .state import ConcreteState, SymbolicState, zero_valuation
+
+
+def _project_nothing(vars: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Projection of a var state for expressions reading no variables."""
+    return ()
 
 
 @dataclass(frozen=True)
@@ -107,34 +113,88 @@ class System:
         }
         # Memoization of per-discrete-state computations: the solver asks
         # for the same invariant zones, move lists, and guard constraints
-        # thousands of times during the backward fixpoint.
-        self._inv_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], DBM] = {}
-        self._moves_cache: Dict[
-            Tuple[Tuple[int, ...], Tuple[int, ...]], List["Move"]
-        ] = {}
-        self._guard_cache: Dict[Tuple[int, Tuple[int, ...]], list] = {}
-        # Per automaton: location index -> internal edges / sync edges.
-        self._internal: List[Dict[int, List[Edge]]] = []
-        self._emit: Dict[str, List[Tuple[int, Edge]]] = {}
-        self._recv: Dict[str, List[Tuple[int, Edge]]] = {}
-        for idx, automaton in enumerate(self.automata):
-            per_loc: Dict[int, List[Edge]] = {}
-            for edge in automaton.edges:
-                src = automaton.location_index(edge.source)
-                if edge.sync is None:
-                    per_loc.setdefault(src, []).append(edge)
-                else:
-                    channel, bang = edge.sync
-                    table = self._emit if bang == "!" else self._recv
-                    table.setdefault(channel, []).append((idx, edge))
-            self._internal.append(per_loc)
+        # thousands of times during the backward fixpoint.  Everything
+        # below is a pure function of the (frozen, prepared) network, so
+        # the cache bundle is stored *on the network* and shared by every
+        # System wrapping it — workloads that build many Systems of the
+        # same model (the differential harness, benchmark rounds) start
+        # warm instead of re-deriving tables and re-evaluating guards.
+        shared = getattr(network, "_semantics_caches", None)
+        if shared is None:
+            shared = network._semantics_caches = {
+                "inv": {},
+                "inv_cons": {},
+                "moves": {},
+                "guard": {},
+                "int_guard": {},
+                "inv_int": {},
+                "resets": {},
+                "assign": {},
+                "delay": {},
+                "ctx": {},
+                "edge_int_slots": {},
+                "guard_slots": {},
+                "locs_inv_slots": {},
+                "moves_slots": {},
+            }
+        self._inv_cache: Dict[tuple, DBM] = shared["inv"]
+        self._inv_cons_cache: Dict[tuple, list] = shared["inv_cons"]
+        self._moves_cache: Dict[tuple, List["Move"]] = shared["moves"]
+        self._guard_cache: Dict[tuple, list] = shared["guard"]
+        # Guard/invariant caches are keyed by the *projection* of the
+        # variable state onto the slots the expressions actually read —
+        # a guard over one counter is evaluated once per value of that
+        # counter, not once per global var state.  Read-slot sets are
+        # derived syntactically (names_in); array reads conservatively
+        # cover the whole array since indices may be dynamic.
+        self._int_guard_cache: Dict[tuple, bool] = shared["int_guard"]
+        self._inv_int_cache: Dict[tuple, bool] = shared["inv_int"]
+        self._resets_cache: Dict[
+            Tuple[int, ...], Tuple[Tuple[int, int], ...]
+        ] = shared["resets"]
+        self._assign_cache: Dict[tuple, tuple] = shared["assign"]
+        self._delay_cache: Dict[tuple, DBM] = shared["delay"]
+        self._ctx_cache: Dict[Tuple[int, ...], Context] = shared["ctx"]
+        self._edge_int_slots: Dict[int, object] = shared["edge_int_slots"]
+        self._guard_slots: Dict[Tuple[int, ...], object] = shared["guard_slots"]
+        self._locs_inv_slots: Dict[Tuple[int, ...], tuple] = shared[
+            "locs_inv_slots"
+        ]
+        self._moves_slots: Dict[Tuple[int, ...], object] = shared["moves_slots"]
+        # Per automaton: location index -> internal edges.  Sync edges are
+        # double-indexed channel -> automaton -> source location, so move
+        # enumeration only ever touches edges leaving the current
+        # locations instead of filtering every edge of the channel.
+        tables = getattr(network, "_edge_tables", None)
+        if tables is None:
+            internal: List[Dict[int, List[Edge]]] = []
+            emit: Dict[str, Dict[int, Dict[int, List[Edge]]]] = {}
+            recv: Dict[str, Dict[int, Dict[int, List[Edge]]]] = {}
+            for idx, automaton in enumerate(self.automata):
+                per_loc: Dict[int, List[Edge]] = {}
+                for edge in automaton.edges:
+                    src = automaton.location_index(edge.source)
+                    if edge.sync is None:
+                        per_loc.setdefault(src, []).append(edge)
+                    else:
+                        channel, bang = edge.sync
+                        table = emit if bang == "!" else recv
+                        table.setdefault(channel, {}).setdefault(
+                            idx, {}
+                        ).setdefault(src, []).append(edge)
+                internal.append(per_loc)
+            tables = network._edge_tables = (internal, emit, recv)
+        self._internal, self._emit, self._recv = tables
 
     # ------------------------------------------------------------------
     # Contexts and invariants
     # ------------------------------------------------------------------
 
     def ctx(self, vars: Tuple[int, ...]) -> Context:
-        return Context(self.decls, vars)
+        cached = self._ctx_cache.get(vars)
+        if cached is None:
+            cached = self._ctx_cache[vars] = Context(self.decls, vars)
+        return cached
 
     def query_ctx(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> Context:
         """A context where dotted location tests (``IUT.Bright``) work."""
@@ -150,26 +210,100 @@ class System:
 
         return Context(self.decls, vars, location_test)
 
+    def _slots_of(self, exprs) -> Tuple[int, ...]:
+        """Variable slots an expression list reads (arrays whole)."""
+        from ..expr.ast import names_in
+
+        slots = set()
+        for expr in exprs:
+            for name in names_in(expr):
+                var = self.decls.int_vars.get(name)
+                if var is not None:
+                    slots.add(var.slot)
+                    continue
+                arr = self.decls.arrays.get(name)
+                if arr is not None:
+                    slots.update(range(arr.offset, arr.offset + arr.size))
+        return tuple(sorted(slots))
+
+    def _projector(self, exprs):
+        """A fast callable projecting a var state onto what ``exprs`` read."""
+        slots = self._slots_of(exprs)
+        if not slots:
+            return _project_nothing
+        if len(slots) == 1:
+            return itemgetter(slots[0])
+        return itemgetter(*slots)
+
+    def _inv_projectors(self, locs: Tuple[int, ...]):
+        """Var projectors of the invariants at ``locs``: (int, clock part)."""
+        cached = self._locs_inv_slots.get(locs)
+        if cached is None:
+            int_exprs: list = []
+            clock_exprs: list = []
+            for a_idx, automaton in enumerate(self.automata):
+                split = automaton.location_list[locs[a_idx]].inv_split
+                int_exprs.extend(split.int_atoms)
+                clock_exprs.extend(atom.rhs for atom in split.clock_atoms)
+            cached = (self._projector(int_exprs), self._projector(clock_exprs))
+            self._locs_inv_slots[locs] = cached
+        return cached
+
     def invariant_int_ok(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> bool:
-        ctx = self.ctx(vars)
-        for a_idx, automaton in enumerate(self.automata):
-            loc = automaton.location_list[locs[a_idx]]
-            if not loc.inv_split.int_holds(ctx):
-                return False
-        return True
+        key = (locs, self._inv_projectors(locs)[0](vars))
+        cached = self._inv_int_cache.get(key)
+        if cached is None:
+            ctx = self.ctx(vars)
+            cached = all(
+                automaton.location_list[locs[a_idx]].inv_split.int_holds(ctx)
+                for a_idx, automaton in enumerate(self.automata)
+            )
+            self._inv_int_cache[key] = cached
+        return cached
+
+    def _edge_int_ok(self, edge: Edge, vars: Tuple[int, ...], ctx: Context) -> bool:
+        """Memoized integer-guard verdict of one edge in a var state."""
+        if not edge.guard_split.int_atoms:
+            return True
+        project = self._edge_int_slots.get(edge.index)
+        if project is None:
+            project = self._projector(edge.guard_split.int_atoms)
+            self._edge_int_slots[edge.index] = project
+        key = (edge.index, project(vars))
+        cached = self._int_guard_cache.get(key)
+        if cached is None:
+            cached = edge.guard_split.int_holds(ctx)
+            self._int_guard_cache[key] = cached
+        return cached
+
+    def invariant_constraints(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> list:
+        """Encoded clock constraints of the invariants at a discrete state.
+
+        Intersecting a canonical zone with these via incremental
+        tightening is much cheaper than a full closure against the
+        invariant *zone* — invariants carry only a handful of bounds.
+        """
+        key = (locs, self._inv_projectors(locs)[1](vars))
+        cached = self._inv_cons_cache.get(key)
+        if cached is None:
+            ctx = self.ctx(vars)
+            cached = []
+            for a_idx, automaton in enumerate(self.automata):
+                loc = automaton.location_list[locs[a_idx]]
+                cached.extend(loc.inv_split.clock_constraints(ctx))
+            self._inv_cons_cache[key] = cached
+        return cached
 
     def invariant_zone(self, locs: Tuple[int, ...], vars: Tuple[int, ...]) -> DBM:
-        key = (locs, vars)
+        key = (locs, self._inv_projectors(locs)[1](vars))
         cached = self._inv_cache.get(key)
         if cached is not None:
             return cached
-        ctx = self.ctx(vars)
-        zone = DBM.universal(self.dim)
-        for a_idx, automaton in enumerate(self.automata):
-            loc = automaton.location_list[locs[a_idx]]
-            constraints = loc.inv_split.clock_constraints(ctx)
-            if constraints:
-                zone = zone.constrained(constraints)
+        zone = DBM.universal(self.dim).constrained(
+            self.invariant_constraints(locs, vars)
+        )
         self._inv_cache[key] = zone
         return zone
 
@@ -199,11 +333,28 @@ class System:
     # Move enumeration
     # ------------------------------------------------------------------
 
+    def _moves_read_slots(self, locs: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Union of int-guard read slots over every edge leaving ``locs``."""
+        cached = self._moves_slots.get(locs)
+        if cached is None:
+            exprs: list = []
+            for a_idx, per_loc in enumerate(self._internal):
+                for edge in per_loc.get(locs[a_idx], ()):
+                    exprs.extend(edge.guard_split.int_atoms)
+            for table in (self._emit, self._recv):
+                for per_automaton in table.values():
+                    for a_idx, by_loc in per_automaton.items():
+                        for edge in by_loc.get(locs[a_idx], ()):
+                            exprs.extend(edge.guard_split.int_atoms)
+            cached = self._projector(exprs)
+            self._moves_slots[locs] = cached
+        return cached
+
     def moves_from(
         self, locs: Tuple[int, ...], vars: Tuple[int, ...]
     ) -> List[Move]:
         """All moves whose *integer* guards hold (clock parts are zones)."""
-        key = (locs, vars)
+        key = (locs, self._moves_read_slots(locs)(vars))
         cached = self._moves_cache.get(key)
         if cached is not None:
             return cached
@@ -224,51 +375,55 @@ class System:
             for edge in per_loc.get(locs[a_idx], ()):
                 if not committed_ok((a_idx,)):
                     continue
-                if edge.guard_split.int_holds(ctx):
+                if self._edge_int_ok(edge, vars, ctx):
                     moves.append(
                         Move("tau", "internal", edge.controllable, ((a_idx, edge),))
                     )
         for channel_name, channel in self.network.channels.items():
-            emitters = self._emit.get(channel_name, ())
-            receivers = self._recv.get(channel_name, ())
+            emitters = self._emit.get(channel_name)
+            receivers = self._recv.get(channel_name)
             if channel.broadcast:
                 moves.extend(
                     self._broadcast_moves(
-                        channel_name, emitters, receivers, locs, ctx, committed_ok
+                        channel_name,
+                        emitters or {},
+                        receivers or {},
+                        locs,
+                        vars,
+                        ctx,
+                        committed_ok,
                     )
                 )
                 continue
-            for i, e_send in emitters:
-                automaton = self.automata[i]
-                if automaton.location_index(e_send.source) != locs[i]:
-                    continue
-                if not e_send.guard_split.int_holds(ctx):
-                    continue
-                for j, e_recv in receivers:
-                    if i == j:
+            if not emitters or not receivers:
+                continue
+            direction = (
+                "input"
+                if channel.kind == "input"
+                else "output"
+                if channel.kind == "output"
+                else "internal"
+            )
+            for i, send_by_loc in emitters.items():
+                for e_send in send_by_loc.get(locs[i], ()):
+                    if not self._edge_int_ok(e_send, vars, ctx):
                         continue
-                    recv_automaton = self.automata[j]
-                    if recv_automaton.location_index(e_recv.source) != locs[j]:
-                        continue
-                    if not committed_ok((i, j)):
-                        continue
-                    if not e_recv.guard_split.int_holds(ctx):
-                        continue
-                    direction = (
-                        "input"
-                        if channel.kind == "input"
-                        else "output"
-                        if channel.kind == "output"
-                        else "internal"
-                    )
-                    moves.append(
-                        Move(
-                            channel_name,
-                            direction,
-                            channel.controllable,
-                            ((i, e_send), (j, e_recv)),
-                        )
-                    )
+                    for j, recv_by_loc in receivers.items():
+                        if i == j:
+                            continue
+                        for e_recv in recv_by_loc.get(locs[j], ()):
+                            if not committed_ok((i, j)):
+                                continue
+                            if not self._edge_int_ok(e_recv, vars, ctx):
+                                continue
+                            moves.append(
+                                Move(
+                                    channel_name,
+                                    direction,
+                                    channel.controllable,
+                                    ((i, e_send), (j, e_recv)),
+                                )
+                            )
         self._moves_cache[key] = moves
         return moves
 
@@ -278,6 +433,7 @@ class System:
         emitters,
         receivers,
         locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
         ctx: Context,
         committed_ok,
     ) -> List[Move]:
@@ -293,35 +449,32 @@ class System:
         participant (emitter or receiver) occupies a committed location.
         """
         moves: List[Move] = []
-        for i, e_send in emitters:
-            automaton = self.automata[i]
-            if automaton.location_index(e_send.source) != locs[i]:
-                continue
-            if not e_send.guard_split.int_holds(ctx):
-                continue
-            per_automaton: Dict[int, List[Edge]] = {}
-            for j, e_recv in receivers:
-                if i == j:
+        for i, send_by_loc in emitters.items():
+            for e_send in send_by_loc.get(locs[i], ()):
+                if not self._edge_int_ok(e_send, vars, ctx):
                     continue
-                recv_automaton = self.automata[j]
-                if recv_automaton.location_index(e_recv.source) != locs[j]:
+                per_automaton: Dict[int, List[Edge]] = {}
+                for j, recv_by_loc in receivers.items():
+                    if i == j:
+                        continue
+                    for e_recv in recv_by_loc.get(locs[j], ()):
+                        if self._edge_int_ok(e_recv, vars, ctx):
+                            per_automaton.setdefault(j, []).append(e_recv)
+                indices = sorted(per_automaton)
+                if not committed_ok((i,) + tuple(indices)):
                     continue
-                if not e_recv.guard_split.int_holds(ctx):
-                    continue
-                per_automaton.setdefault(j, []).append(e_recv)
-            indices = sorted(per_automaton)
-            if not committed_ok((i,) + tuple(indices)):
-                continue
-            for combo in itertools.product(*(per_automaton[j] for j in indices)):
-                participants = tuple(zip(indices, combo))
-                moves.append(
-                    Move(
-                        channel_name,
-                        "output",
-                        False,
-                        ((i, e_send),) + participants,
+                for combo in itertools.product(
+                    *(per_automaton[j] for j in indices)
+                ):
+                    participants = tuple(zip(indices, combo))
+                    moves.append(
+                        Move(
+                            channel_name,
+                            "output",
+                            False,
+                            ((i, e_send),) + participants,
+                        )
                     )
-                )
         return moves
 
     def open_moves_from(
@@ -387,19 +540,44 @@ class System:
     def apply_move_vars(
         self, vars: Tuple[int, ...], move: Move
     ) -> Optional[Tuple[int, ...]]:
-        """Variable update of a move (emitter first); None on range error."""
-        state = vars
-        for a_idx, edge in move.edges:
-            if edge.int_assigns:
-                try:
-                    state = apply_assignments(edge.int_assigns, self.ctx(state))
-                except (OverflowError, EvalError):
-                    return None
-        return state
+        """Variable update of a move (emitter first); None on range error.
+
+        Memoized: the same move fires from the same var state once per
+        source zone during exploration.
+        """
+        if not any(edge.int_assigns for _, edge in move.edges):
+            return vars
+        key = (tuple(edge.index for _, edge in move.edges), vars)
+        cached = self._assign_cache.get(key)
+        if cached is None:
+            state: Optional[Tuple[int, ...]] = vars
+            for a_idx, edge in move.edges:
+                if edge.int_assigns:
+                    try:
+                        state = apply_assignments(
+                            edge.int_assigns, self.ctx(state)
+                        )
+                    except (OverflowError, EvalError):
+                        state = None
+                        break
+            cached = (state,)
+            self._assign_cache[key] = cached
+        return cached[0]
 
     def guard_constraints(self, move: Move, vars: Tuple[int, ...]):
         """Encoded clock constraints of a move's guards (memoized)."""
-        key = (tuple(edge.index for _, edge in move.edges), vars)
+        idxs = tuple(edge.index for _, edge in move.edges)
+        project = self._guard_slots.get(idxs)
+        if project is None:
+            project = self._projector(
+                [
+                    atom.rhs
+                    for _, edge in move.edges
+                    for atom in edge.guard_split.clock_atoms
+                ]
+            )
+            self._guard_slots[idxs] = project
+        key = (idxs, project(vars))
         cached = self._guard_cache.get(key)
         if cached is not None:
             return cached
@@ -411,12 +589,17 @@ class System:
         return constraints
 
     def resets_of(self, move: Move) -> Tuple[Tuple[int, int], ...]:
-        """Clock assignments of a move, emitter first (later wins)."""
-        merged: Dict[int, int] = {}
-        for _, edge in move.edges:
-            for clock, value in edge.clock_resets:
-                merged[clock] = value
-        return tuple(sorted(merged.items()))
+        """Clock assignments of a move, emitter first (later wins); memoized."""
+        key = tuple(edge.index for _, edge in move.edges)
+        cached = self._resets_cache.get(key)
+        if cached is None:
+            merged: Dict[int, int] = {}
+            for _, edge in move.edges:
+                for clock, value in edge.clock_resets:
+                    merged[clock] = value
+            cached = tuple(sorted(merged.items()))
+            self._resets_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Symbolic semantics
@@ -437,7 +620,20 @@ class System:
     def delay_closure(self, sym: SymbolicState) -> SymbolicState:
         if not self.can_delay(sym.locs):
             return sym
-        zone = sym.zone.up().intersect(self.invariant_zone(sym.locs, sym.vars))
+        # Memoized on the zone's canonical bytes: distinct source nodes
+        # frequently post into byte-identical zones (resets collapse
+        # differences), repeating the same up-and-constrain.
+        key = (
+            sym.locs,
+            self._inv_projectors(sym.locs)[1](sym.vars),
+            sym.zone.hash_key(),
+        )
+        zone = self._delay_cache.get(key)
+        if zone is None:
+            zone = sym.zone.up().constrained(
+                self.invariant_constraints(sym.locs, sym.vars)
+            )
+            self._delay_cache[key] = zone
         return SymbolicState(sym.locs, sym.vars, zone)
 
     def post(self, sym: SymbolicState, move: Move) -> Optional[SymbolicState]:
@@ -452,7 +648,7 @@ class System:
         if zone.is_empty():
             return None
         zone = zone.assign_clocks(self.resets_of(move))
-        zone = zone.intersect(self.invariant_zone(new_locs, new_vars))
+        zone = zone.constrained(self.invariant_constraints(new_locs, new_vars))
         if zone.is_empty():
             return None
         return SymbolicState(new_locs, new_vars, zone)

@@ -291,25 +291,36 @@ class Network:
 
     def max_constants(self, extra_atoms: Sequence[ClockAtom] = ()) -> List[int]:
         """Per-clock maximum constants (ExtraM input), covering every guard,
-        invariant, and any extra atoms (e.g. from the test purpose)."""
-        max_consts = [0] * self.dim
-        for automaton in self.automata:
-            for loc in automaton.location_list:
-                update_max_constants(loc.inv_split.clock_atoms, self.decls, max_consts)
-            for edge in automaton.edges:
-                update_max_constants(edge.guard_split.clock_atoms, self.decls, max_consts)
+        invariant, and any extra atoms (e.g. from the test purpose).
+
+        The model-wide scan is memoized (networks are frozen once
+        prepared); only the extra atoms are folded in per call."""
+        base = getattr(self, "_max_consts_base", None)
+        if base is None:
+            base = [0] * self.dim
+            for automaton in self.automata:
+                for loc in automaton.location_list:
+                    update_max_constants(loc.inv_split.clock_atoms, self.decls, base)
+                for edge in automaton.edges:
+                    update_max_constants(edge.guard_split.clock_atoms, self.decls, base)
+            self._max_consts_base = base
+        max_consts = list(base)
         update_max_constants(tuple(extra_atoms), self.decls, max_consts)
         return max_consts
 
     def has_diagonal_constraints(self) -> bool:
-        for automaton in self.automata:
-            for loc in automaton.location_list:
-                if any(a.is_diagonal for a in loc.inv_split.clock_atoms):
-                    return True
-            for edge in automaton.edges:
-                if any(a.is_diagonal for a in edge.guard_split.clock_atoms):
-                    return True
-        return False
+        cached = getattr(self, "_has_diagonal", None)
+        if cached is None:
+            cached = False
+            for automaton in self.automata:
+                for loc in automaton.location_list:
+                    if any(a.is_diagonal for a in loc.inv_split.clock_atoms):
+                        cached = True
+                for edge in automaton.edges:
+                    if any(a.is_diagonal for a in edge.guard_split.clock_atoms):
+                        cached = True
+            self._has_diagonal = cached
+        return cached
 
     def channel_names(self, kind: Optional[str] = None) -> List[str]:
         return [

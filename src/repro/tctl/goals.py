@@ -70,13 +70,25 @@ class GoalPredicate:
         self.system = system
         self.predicate = normalize_process_fields(predicate, system)
         self.dim = system.dim
+        # The predicate's clock-set denotation depends only on the
+        # discrete state — and only on the variable slots the predicate
+        # actually reads — so it is computed once per (locs, projected
+        # vars) and intersected with each node's zone.  Many graph nodes
+        # share a discrete state and predicate evaluation walks the
+        # whole AST.
+        self._discrete_cache: dict = {}
+        self._project_vars = system._projector([self.predicate])
 
     # ------------------------------------------------------------------
 
     def federation(self, sym: SymbolicState) -> Federation:
         """The subset of ``sym.zone`` satisfying the predicate."""
-        ctx = self.system.query_ctx(sym.locs, sym.vars)
-        fed = self._eval(self.predicate, ctx, positive=True)
+        key = (sym.locs, self._project_vars(sym.vars))
+        fed = self._discrete_cache.get(key)
+        if fed is None:
+            ctx = self.system.query_ctx(sym.locs, sym.vars)
+            fed = self._eval(self.predicate, ctx, positive=True)
+            self._discrete_cache[key] = fed
         return fed.intersect_zone(sym.zone)
 
     def holds_discretely(self, sym: SymbolicState) -> bool:

@@ -1,3 +1,6 @@
-"""Utilities: resource measurement and table formatting for benchmarks."""
+"""Utilities: resource measurement, table formatting, and op counters."""
 
+from . import counters
 from .resources import Measurement, format_table, measure, stopwatch
+
+__all__ = ["Measurement", "format_table", "measure", "stopwatch", "counters"]

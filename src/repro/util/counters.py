@@ -1,0 +1,73 @@
+"""Cheap op-level profiling counters for the zone engine and solvers.
+
+Benchmarks should report *what the engine did*, not only wall clock: how
+many Floyd-Warshall closures ran (and over how many stacked zones), how
+often the exact subtraction fallback fired versus the vectorized
+subsumption pre-filter, how large federations get, and how the solver's
+incremental caches hit.  Counters are plain dict increments (~100ns), far
+below the cost of any counted operation, and are always on.
+
+Usage::
+
+    from repro.util import counters
+    counters.reset()
+    ... run workload ...
+    print(counters.report())
+
+Histogram-style metrics (``observe``) record count / total / max, so
+``zones_per_federation`` yields an average and a worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+_COUNTS: Dict[str, int] = {}
+_STATS: Dict[str, list] = {}  # name -> [count, total, max]
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Add ``n`` to a counter."""
+    _COUNTS[name] = _COUNTS.get(name, 0) + n
+
+
+def observe(name: str, value: int) -> None:
+    """Record one sample of a size-style metric (count/total/max)."""
+    stat = _STATS.get(name)
+    if stat is None:
+        _STATS[name] = [1, value, value]
+    else:
+        stat[0] += 1
+        stat[1] += value
+        if value > stat[2]:
+            stat[2] = value
+
+
+def reset() -> None:
+    """Zero every counter and stat."""
+    _COUNTS.clear()
+    _STATS.clear()
+
+
+def snapshot() -> Dict[str, Union[int, Dict[str, float]]]:
+    """All counters and stats as a plain JSON-friendly dict."""
+    out: Dict[str, Union[int, Dict[str, float]]] = dict(_COUNTS)
+    for name, (count, total, peak) in _STATS.items():
+        out[name] = {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "max": peak,
+        }
+    return out
+
+
+def report() -> str:
+    """Human-readable one-line-per-counter rendering."""
+    lines = []
+    for name in sorted(_COUNTS):
+        lines.append(f"{name:40s} {_COUNTS[name]}")
+    for name in sorted(_STATS):
+        count, total, peak = _STATS[name]
+        mean = total / count if count else 0.0
+        lines.append(f"{name:40s} n={count} mean={mean:.2f} max={peak}")
+    return "\n".join(lines)
