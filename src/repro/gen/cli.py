@@ -101,6 +101,9 @@ def _report_payload(summary, args, elapsed: float) -> dict:
         "max_locations": args.max_locations,
         "elapsed_seconds": round(elapsed, 3),
         "counts": summary.counts(),
+        # Per-family oracle coverage (nightly artifacts track that the
+        # conformance check really runs on multi-automaton plants).
+        "family_counts": summary.counts_by_family(),
         "zone_trials": summary.zone_trials,
         "zone_failures": summary.zone_failures,
         "failures": [

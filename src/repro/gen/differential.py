@@ -28,6 +28,18 @@ hand-written expected outputs, only internal consistency:
     environment.  The paper's relativization collapses to plain tioco
     under a universal environment, so *any* reported violation by either
     monitor is a real disagreement between the interpreter and a monitor.
+    Multi-automaton plants run through the *partial* semantics: the
+    interpreter fires internalised syncs as hidden moves at policy-chosen
+    times, and the monitors track the resulting state *set* symbolically
+    — every generated family exercises the oracle, none is skipped.
+
+``composition``
+    Partial composition against an in-model environment must agree
+    move-for-move with the flat closed product when the declared boundary
+    is empty: over the reachable closed state graph, the two enumeration
+    modes must produce the same synchronizations (identical participating
+    edges and labels), with internalised syncs relabelled ``internal``
+    and made uncontrollable.
 
 Failing instances are shrunk greedily at the spec level (drop edges,
 clear guards/invariants/assignments) while re-running only the failing
@@ -43,13 +55,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dbm import Federation
 from ..game.solver import GameResult, OnTheFlySolver, TwoPhaseSolver
-from ..graph.explorer import ExplorationLimit
-from ..semantics.state import ConcreteState
-from ..semantics.system import DelayInterval, System
+from ..graph.explorer import ExplorationLimit, SimulationGraph
+from ..semantics.compose import EstimateLimit
+from ..semantics.system import PARTIAL, DelayInterval, System
 from ..tctl.query import parse_query
 from ..testing import (
     EagerPolicy,
     LazyPolicy,
+    Quiescence,
     RandomPolicy,
     RelativizedMonitor,
     SimulatedImplementation,
@@ -78,6 +91,9 @@ class DiffConfig:
     sim_steps: int = 30
     conf_steps: int = 25
     check_fixpoint: bool = True
+    #: Exploration budget of the closed-product walk in the composition
+    #: check (compared state-by-state against partial enumeration).
+    composition_nodes: int = 2000
 
 
 @dataclass(frozen=True)
@@ -314,7 +330,13 @@ def _drive_self_conformance(
     rng: random.Random,
     steps: int,
 ) -> Optional[str]:
-    """Run one self-conformance session; returns a failure detail or None."""
+    """Run one self-conformance session; returns a failure detail or None.
+
+    Works for single and composed plants alike: the implementation and
+    both monitors enumerate the plant's partial semantics (the networks
+    declare their interface partition), and the monitors auto-select
+    symbolic state-set tracking when hidden syncs make ``After σ`` a set.
+    """
     imp = SimulatedImplementation(plant_sys, policy)
     monitor = TiocoMonitor(plant_sys)
     relativized = RelativizedMonitor(arena_sys)
@@ -340,29 +362,24 @@ def _drive_self_conformance(
                     return failure
         else:
             return None  # zero-delay livelock (mutant artifact): end run
-        inputs = sorted({label for _, label in monitor.enabled_now("input")})
+        inputs = monitor.enabled_labels("input")
         if inputs and rng.random() < 0.5:
             label = rng.choice(inputs)
             if not imp.give_input(label):
+                if monitor.estimated:
+                    # Set-based tracking: the estimate admits the input in
+                    # *some* hidden-move interleaving, but the
+                    # implementation's actual (hidden) state refuses it —
+                    # possible only for non-input-enabled specs (drop
+                    # mutants).  Nothing was observed; try another round.
+                    continue
                 return (
                     f"implementation refused input {label} that the identical"
                     f" specification accepts"
                 )
             if not monitor.observe(label, "input"):
                 return f"tioco monitor refused its own input: {monitor.violation}"
-            composed = [
-                move
-                for move, _ in arena_sys.enabled_now(
-                    relativized.state, directions=("input",)
-                )
-                if move.label == label
-            ]
-            if not composed:
-                return (
-                    f"composed specification refuses input {label} under the"
-                    f" permissive environment"
-                )
-            if not relativized.observe_move(composed[0]):
+            if not relativized.observe_input(label):
                 return f"rtioco input disagreement: {relativized.violation}"
             continue
         scheduled = imp.next_output()
@@ -379,6 +396,20 @@ def _drive_self_conformance(
             if not inputs:
                 return None  # genuinely stuck (mutant artifact): end run
             continue
+        # Never push the implementation past its *own* invariant bound:
+        # with set-tracking monitors the quiescence supremum spans every
+        # hidden-move interleaving, which may exceed the bound of the
+        # imp's actual reality when a mutant dropped the liveness escape
+        # of an invariant location (the imp is then simply timelocked).
+        imp_bound, imp_strict = imp.system.max_delay(imp.state)
+        if imp_bound is not None and not Quiescence(imp_bound, imp_strict).allows(
+            delay
+        ):
+            delay = imp_bound if not imp_strict else imp_bound / 2
+            if delay == 0:
+                if not inputs:
+                    return None  # imp timelocked (mutant artifact): end run
+                continue
         label = imp.advance(delay)
         if not monitor.advance(delay):
             return f"tioco quiescence violation: {monitor.violation}"
@@ -392,10 +423,6 @@ def _drive_self_conformance(
 
 
 def check_conformance(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
-    if not instance.single_plant:
-        return CheckResult(
-            "conformance", SKIP, "multi-automaton plant (open tioco undefined)"
-        )
     plant_sys = System(instance.plant)
     arena_sys = System(instance.arena)
     policies = [
@@ -413,9 +440,79 @@ def check_conformance(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResu
             return CheckResult(
                 "conformance", SKIP, f"nondeterministic spec (mutant): {nondet}"
             )
+        except EstimateLimit as limit:
+            return CheckResult(
+                "conformance", SKIP, f"state-estimate budget: {limit}"
+            )
         if failure:
             return CheckResult("conformance", FAIL, f"[{name} policy] {failure}")
     return CheckResult("conformance", OK)
+
+
+# ----------------------------------------------------------------------
+# Check: partial composition vs the flat closed product
+# ----------------------------------------------------------------------
+
+
+def check_composition(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    """Empty-boundary partial composition ≡ the flat closed product.
+
+    Rebuilds the arena (plant + in-model environment) with a declared
+    *empty* interface — every pairable channel internalised — and walks
+    the closed reachable state graph comparing move enumeration in both
+    modes at every node: the same synchronizations (identical
+    participating edges and labels) must appear, with every internalised
+    sync relabelled ``internal`` and made uncontrollable.
+    """
+    network = instance.spec.build_arena(interface=())
+    system = System(network)
+    graph = SimulationGraph(system, max_nodes=cfg.composition_nodes)
+    try:
+        graph.explore_all()
+    except ExplorationLimit:
+        pass  # compare over the explored prefix
+    for node in graph.nodes:
+        locs, vars = node.sym.locs, node.sym.vars
+        closed = system.moves_from(locs, vars)
+        partial = system.moves_from(locs, vars, PARTIAL)
+
+        def move_key(move):
+            return (move.label, tuple((i, e.index) for i, e in move.edges))
+
+        closed_keys = sorted(map(move_key, closed))
+        partial_keys = sorted(map(move_key, partial))
+        if closed_keys != partial_keys:
+            diff = sorted(set(closed_keys) ^ set(partial_keys))
+            return CheckResult(
+                "composition",
+                FAIL,
+                f"move sets differ at {locs}: {diff[:3]}"
+                f" (closed {len(closed)} vs partial {len(partial)})",
+            )
+        partial_by = {move_key(move): move for move in partial}
+        for move in closed:
+            twin = partial_by[move_key(move)]
+            has_sync = any(edge.sync is not None for _, edge in move.edges)
+            # Hidden (internalised) syncs are relabelled internal and —
+            # per the TIOGA convention — uncontrollable; tau edges keep
+            # their own direction and controllability.
+            expected_dir = "internal" if has_sync else move.direction
+            expected_ctl = False if has_sync else move.controllable
+            if twin.controllable != expected_ctl:
+                return CheckResult(
+                    "composition",
+                    FAIL,
+                    f"controllability of {move.label} at {locs}:"
+                    f" partial={twin.controllable} expected={expected_ctl}",
+                )
+            if twin.direction != expected_dir:
+                return CheckResult(
+                    "composition",
+                    FAIL,
+                    f"direction of {move.label} at {locs}:"
+                    f" partial={twin.direction} expected={expected_dir}",
+                )
+    return CheckResult("composition", OK, f"{graph.node_count} states compared")
 
 
 # ----------------------------------------------------------------------
@@ -426,6 +523,7 @@ CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
     "solvers": check_solvers,
     "semantics": check_semantics,
     "conformance": check_conformance,
+    "composition": check_composition,
 }
 
 
@@ -537,11 +635,30 @@ class CampaignSummary:
         return not self.failed_reports and not self.zone_failures
 
     def counts(self) -> Dict[str, Dict[str, int]]:
-        """check name -> status -> count."""
+        """check name -> status -> count (family-summed view)."""
         table: Dict[str, Dict[str, int]] = {}
+        for family_rows in self.counts_by_family().values():
+            for name, row in family_rows.items():
+                agg = table.setdefault(name, {OK: 0, SKIP: 0, FAIL: 0})
+                for status, count in row.items():
+                    agg[status] += count
+        return table
+
+    def counts_by_family(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """family -> check name -> status -> count.
+
+        The oracle-coverage breakdown tracked by the nightly deep-fuzz
+        artifacts: per generator family, how many instances each check
+        actually exercised (multi-automaton plants must show conformance
+        runs, not skips).
+        """
+        table: Dict[str, Dict[str, Dict[str, int]]] = {}
         for report in self.reports:
+            family = table.setdefault(report.family, {})
             for result in report.results:
-                row = table.setdefault(result.name, {OK: 0, SKIP: 0, FAIL: 0})
+                row = family.setdefault(
+                    result.name, {OK: 0, SKIP: 0, FAIL: 0}
+                )
                 row[result.status] += 1
         return table
 
@@ -560,6 +677,14 @@ class CampaignSummary:
                 f"  {name:12s} ok={row[OK]:<4d} skip={row[SKIP]:<4d}"
                 f" fail={row[FAIL]}"
             )
+        by_family = self.counts_by_family()
+        conf_bits = [
+            f"{family} {rows['conformance'][OK]}/{sum(rows['conformance'].values())}"
+            for family, rows in sorted(by_family.items())
+            if "conformance" in rows
+        ]
+        if conf_bits:
+            lines.append("  conformance coverage: " + ", ".join(conf_bits))
         lines.append(
             f"  {'zones':12s} trials={self.zone_trials}"
             f" fail={len(self.zone_failures)}"

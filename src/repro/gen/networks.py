@@ -167,15 +167,42 @@ class NetSpec:
     # Compilation
     # ------------------------------------------------------------------
 
+    def observable_channels(self) -> Tuple[str, ...]:
+        """The interface partition: channels observable at the boundary.
+
+        Everything except ``env_hidden`` — inputs, environment-visible
+        outputs, and broadcast channels (always audible).  The hidden
+        channels carry stage-to-stage tokens consumed *inside* the plant;
+        under the partial semantics their syncs complete internally.
+        """
+        return (
+            self.input_channels
+            + tuple(c for c in self.output_channels if c not in self.env_hidden)
+            + self.broadcast_channels
+        )
+
     def build_plant(self) -> Network:
-        """The plant network alone (open system; tioco specification)."""
+        """The plant network alone (tioco specification, open boundary)."""
         return self._build(f"{self.name}-plant", include_env=False)
 
-    def build_arena(self) -> Network:
-        """Plant composed with the permissive environment (game arena)."""
-        return self._build(self.name, include_env=True)
+    def build_arena(
+        self, interface: Optional[Tuple[str, ...]] = None
+    ) -> Network:
+        """Plant composed with the permissive environment (game arena).
 
-    def _build(self, name: str, *, include_env: bool) -> Network:
+        ``interface`` overrides the declared boundary — the composition
+        differential passes ``()`` to internalise everything and compare
+        against the flat closed product.
+        """
+        return self._build(self.name, include_env=True, interface=interface)
+
+    def _build(
+        self,
+        name: str,
+        *,
+        include_env: bool,
+        interface: Optional[Tuple[str, ...]] = None,
+    ) -> Network:
         net = NetworkBuilder(name)
         for clock in self.clocks:
             net.clock(clock)
@@ -184,6 +211,9 @@ class NetSpec:
         net.input_channel(*self.input_channels)
         net.output_channel(*self.output_channels)
         net.broadcast_channel(*self.broadcast_channels)
+        net.interface(
+            *(self.observable_channels() if interface is None else interface)
+        )
         for aut in self.automata:
             builder = net.automaton(aut.name)
             for loc in aut.locations:

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..dbm import DBM
 from ..semantics.state import DiscreteKey, SymbolicState
-from ..semantics.system import Move, System
+from ..semantics.system import CLOSED, OPEN, Move, System
 
 
 class _ZoneIndex:
@@ -109,13 +109,16 @@ class SimulationGraph:
         system: System,
         *,
         open_system: bool = False,
+        mode: Optional[str] = None,
         extrapolate: bool = True,
         extra_max_consts: Optional[Sequence[int]] = None,
         max_nodes: Optional[int] = None,
         time_limit: Optional[float] = None,
     ):
         self.system = system
-        self.open_system = open_system
+        #: Move-enumeration mode (closed | open | partial); the legacy
+        #: ``open_system`` flag maps to OPEN.
+        self.mode = mode if mode is not None else (OPEN if open_system else CLOSED)
         self.max_nodes = max_nodes
         self.time_limit = time_limit
         self.nodes: List[GraphNode] = []
@@ -182,11 +185,9 @@ class SimulationGraph:
     # ------------------------------------------------------------------
 
     def moves_from(self, node: GraphNode) -> List[Move]:
-        """Enabled moves at a node (open or closed semantics)."""
+        """Enabled moves at a node (closed, open, or partial semantics)."""
         sym = node.sym
-        if self.open_system:
-            return self.system.open_moves_from(sym.locs, sym.vars)
-        return self.system.moves_from(sym.locs, sym.vars)
+        return self.system.moves_from(sym.locs, sym.vars, self.mode)
 
     def expand(self, node: GraphNode) -> List[GraphEdge]:
         """Compute (once) and return the outgoing edges of a node."""

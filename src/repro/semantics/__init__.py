@@ -1,4 +1,5 @@
 """Symbolic and concrete semantics of timed automaton networks."""
 
+from .compose import EstimateLimit, StateEstimate
 from .state import ConcreteState, DiscreteKey, SymbolicState, zero_valuation
-from .system import DelayInterval, Move, System
+from .system import CLOSED, OPEN, PARTIAL, DelayInterval, Move, System

@@ -1,0 +1,397 @@
+"""State estimation for partially composed plants (UPPAAL-TRON style).
+
+A multi-automaton plant monitored through its interface partition has
+*hidden* moves: internalised synchronizations (and their variable
+updates) fire at instants the tester cannot observe.  ``s0 After σ`` is
+then no longer a single state but the **set** of states reachable by
+interleaving σ's observed delays and actions with hidden moves at
+arbitrary legal times.  :class:`StateEstimate` tracks that set
+symbolically, which is exactly what the online monitors need:
+
+* a delay ``d`` is conformant iff *some* member admits a hidden-move
+  interleaving of total duration exactly ``d``;
+* an output ``o`` is allowed iff *some* member enables an ``o`` move at
+  the current instant;
+* the maximal quiescence is the supremum of durations reachable without
+  an observable action.
+
+**Representation.**  Members are ``(locations, variables, zone)`` triples
+whose zones live in a DBM *padded with one extra clock* ``t`` (index
+``system.dim``): the time elapsed since the last observation.  ``t``
+appears in no model constraint, so guard/invariant/reset encodings from
+:class:`~repro.semantics.system.System` apply unchanged, while
+constraining ``t == d`` after a timed closure selects exactly the
+interleavings of duration ``d``.  Observed delays are rationals; all
+encodings are integers, so the estimate keeps a global *time scale*
+``k`` (every bound multiplied by ``k``) and rescales on demand so that
+``k·d`` is integral — the classic region-to-integer trick.
+
+The timed closure is a reachability fixpoint (delay-close, fire hidden
+moves, repeat, with zone-inclusion subsumption) bounded by
+``max_states``; models whose hidden behaviour exceeds the budget raise
+:class:`EstimateLimit` rather than returning an unsound answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dbm import DBM
+from ..dbm.bounds import INF, MAX_BOUND_CONST, decode, le
+from ..expr.env import Declarations
+from ..ta.model import ModelError
+from .system import PARTIAL, Move, System
+
+
+class EstimateLimit(RuntimeError):
+    """The hidden-move closure exceeded the configured state budget."""
+
+
+def apply_var_updates(decls: Declarations, vars: tuple, updates) -> tuple:
+    """Apply ``(name, index_or_None, value)`` updates to a variable tuple.
+
+    The message-payload helper shared by the monitors and the simulated
+    implementations (UPPAAL value-passing idiom); unknown names and
+    out-of-range array indices are ignored.
+    """
+    state = list(vars)
+    for name, index, value in updates:
+        if index is None:
+            var = decls.int_vars.get(name)
+            if var is not None:
+                state[var.slot] = value
+        else:
+            arr = decls.arrays.get(name)
+            if arr is not None and 0 <= index < arr.size:
+                state[arr.offset + index] = value
+    return tuple(state)
+
+
+def _scaled_zone(zone: DBM, factor: int) -> DBM:
+    """The zone with every finite bound constant multiplied by ``factor``.
+
+    Scaling all values by the same positive factor preserves both the
+    shortest-path (canonical-form) inequalities and the strictness bits,
+    so the result is canonical iff the input was.  Raises
+    :class:`EstimateLimit` if a scaled constant would leave the range the
+    DBM kernel's drift-tolerant closure is sound for.
+    """
+    m = zone.m
+    finite = m < INF
+    values = (m >> 1) * factor
+    if (abs(values[finite]) > MAX_BOUND_CONST).any():
+        raise EstimateLimit(
+            "rescaled zone constant exceeds the supported DBM range"
+            f" (±{MAX_BOUND_CONST}); the observed delays' denominators are"
+            " too varied for this model's constants"
+        )
+    scaled = (values << 1) | (m & 1)
+    scaled[~finite] = INF
+    return DBM(scaled)
+
+
+@dataclass(frozen=True)
+class _Member:
+    """One element of the state set (zone padded with the elapsed clock)."""
+
+    locs: Tuple[int, ...]
+    vars: Tuple[int, ...]
+    zone: DBM
+
+
+class StateEstimate:
+    """The set of spec states compatible with the observed timed trace."""
+
+    def __init__(
+        self,
+        system: System,
+        mode: str = PARTIAL,
+        *,
+        max_states: int = 256,
+    ):
+        self.system = system
+        self.mode = mode
+        #: Index of the padded elapsed-time clock.
+        self.tdx = system.dim
+        self.max_states = max_states
+        self.scale = 1
+        # Largest time scale for which every scaled model constant stays
+        # within the DBM kernel's sound range; beyond it rescaling raises
+        # EstimateLimit instead of silently corrupting closures.
+        max_const = max([1] + system.network.max_constants())
+        self._scale_cap = max(1, MAX_BOUND_CONST // (max_const + 1))
+        self.states: List[_Member] = []
+        self._closure: Optional[List[_Member]] = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Construction / bookkeeping
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        system = self.system
+        locs = system.network.initial_locations()
+        vars = system.decls.initial_state()
+        self.scale = 1
+        zone = DBM.zero(self.tdx + 1)
+        zone = zone.constrained(
+            self._scaled(system.invariant_constraints(locs, vars))
+        )
+        self.states = self._instant_closure([_Member(locs, vars, zone)])
+        if not self.states:
+            raise ModelError("initial state violates an invariant")
+        self._closure = None
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def _scaled(self, constraints) -> list:
+        if self.scale == 1:
+            return list(constraints)
+        k = self.scale
+        return [
+            (i, j, enc if enc >= INF else (((enc >> 1) * k) << 1) | (enc & 1))
+            for (i, j, enc) in constraints
+        ]
+
+    def _ensure_scale(self, d: Fraction) -> None:
+        q = d.denominator
+        if self.scale % q == 0:
+            return
+        new_scale = self.scale * q // gcd(self.scale, q)
+        if new_scale > self._scale_cap:
+            raise EstimateLimit(
+                f"time scale {new_scale} (lcm of observed delay"
+                f" denominators) exceeds the sound DBM range for this"
+                f" model's constants (cap {self._scale_cap})"
+            )
+        factor = new_scale // self.scale
+        self.states = [
+            _Member(m.locs, m.vars, _scaled_zone(m.zone, factor))
+            for m in self.states
+        ]
+        self.scale = new_scale
+        self._closure = None
+
+    # ------------------------------------------------------------------
+    # Padded-zone semantics pieces
+    # ------------------------------------------------------------------
+
+    def _moves(self, member: _Member) -> List[Move]:
+        return self.system.moves_from(member.locs, member.vars, self.mode)
+
+    def _post(self, member: _Member, move: Move) -> Optional[_Member]:
+        """Discrete successor on padded zones (mirrors ``System.post``)."""
+        system = self.system
+        new_vars = system.apply_move_vars(member.vars, move)
+        if new_vars is None:
+            return None
+        new_locs = system.target_locs(member.locs, move)
+        if not system.invariant_int_ok(new_locs, new_vars):
+            return None
+        zone = member.zone.constrained(
+            self._scaled(system.guard_constraints(move, member.vars))
+        )
+        if zone.is_empty():
+            return None
+        resets = system.resets_of(move)
+        if resets:
+            zone = zone.assign_clocks(
+                [(clock, value * self.scale) for clock, value in resets]
+            )
+        zone = zone.constrained(
+            self._scaled(system.invariant_constraints(new_locs, new_vars))
+        )
+        if zone.is_empty():
+            return None
+        return _Member(new_locs, new_vars, zone)
+
+    def _delayed(self, member: _Member) -> _Member:
+        """Delay closure of a member (elapsed clock advances with time)."""
+        system = self.system
+        if not system.can_delay(member.locs):
+            return member
+        zone = member.zone.up().constrained(
+            self._scaled(system.invariant_constraints(member.locs, member.vars))
+        )
+        return _Member(member.locs, member.vars, zone)
+
+    # ------------------------------------------------------------------
+    # Closures
+    # ------------------------------------------------------------------
+
+    def _closure_fixpoint(
+        self, work: List[_Member], *, timed: bool
+    ) -> List[_Member]:
+        """Reachability over hidden moves (with delays iff ``timed``)."""
+        seen: Dict[tuple, List[DBM]] = {}
+        out: List[_Member] = []
+        while work:
+            member = work.pop()
+            if member.zone.is_empty():
+                continue
+            key = (member.locs, member.vars)
+            zones = seen.setdefault(key, [])
+            if any(existing.includes(member.zone) for existing in zones):
+                continue
+            zones.append(member.zone)
+            out.append(member)
+            if len(out) > self.max_states:
+                raise EstimateLimit(
+                    f"hidden-move closure exceeded {self.max_states} symbolic"
+                    f" states (raise max_states or simplify the partition)"
+                )
+            for move in self._moves(member):
+                if move.direction != "internal":
+                    continue
+                nxt = self._post(member, move)
+                if nxt is not None:
+                    work.append(self._delayed(nxt) if timed else nxt)
+        return out
+
+    def _instant_closure(self, members: List[_Member]) -> List[_Member]:
+        """Closure under hidden moves at the current instant (no delay)."""
+        return self._closure_fixpoint(list(members), timed=False)
+
+    def _timed_closure(self) -> List[_Member]:
+        """Closure under delays and hidden moves, elapsed clock reset first.
+
+        Memoized until the state set changes: the monitors ask for the
+        quiescence bound and then advance through the same closure.
+        """
+        if self._closure is None:
+            frontier = [
+                self._delayed(
+                    _Member(m.locs, m.vars, m.zone.reset([self.tdx]))
+                )
+                for m in self.states
+            ]
+            self._closure = self._closure_fixpoint(frontier, timed=True)
+        return self._closure
+
+    # ------------------------------------------------------------------
+    # The monitor-facing operations
+    # ------------------------------------------------------------------
+
+    def max_quiescence(self) -> Tuple[Optional[Fraction], bool]:
+        """Sup of durations reachable without an observable action.
+
+        Returns ``(bound, strict)``; bound ``None`` means silence is
+        allowed forever.
+        """
+        best: Optional[Fraction] = None
+        best_strict = False
+        for member in self._timed_closure():
+            enc = int(member.zone.m[self.tdx, 0])
+            if enc >= INF:
+                return None, False
+            value, strict = decode(enc)
+            bound = Fraction(value, self.scale)
+            if best is None or bound > best or (bound == best and not strict):
+                best, best_strict = bound, strict
+        return best, best_strict
+
+    def advance(self, d: Fraction) -> bool:
+        """Extend the trace by a silent delay of exactly ``d``.
+
+        False iff no member admits a hidden-move interleaving of duration
+        ``d`` (a quiescence violation for the monitors).
+        """
+        if d < 0:
+            raise ValueError("negative delay")
+        if d == 0:
+            return bool(self.states)
+        self._ensure_scale(d)
+        ticks = int(d * self.scale)
+        try:
+            pin = [(self.tdx, 0, le(ticks)), (0, self.tdx, le(-ticks))]
+        except ValueError as err:  # delay horizon beyond the DBM range
+            raise EstimateLimit(str(err)) from err
+        result = []
+        for member in self._timed_closure():
+            zone = member.zone.constrained(pin)
+            if not zone.is_empty():
+                result.append(_Member(member.locs, member.vars, zone))
+        if not result:
+            return False
+        self.states = result
+        self._closure = None
+        return True
+
+    def observe(
+        self, label: str, direction: str, updates: Optional[Sequence] = None
+    ) -> bool:
+        """Extend the trace by an observed action; False iff disallowed."""
+        decls = self.system.decls
+        matched: List[_Member] = []
+        for member in self.states:
+            if updates:
+                member = _Member(
+                    member.locs,
+                    apply_var_updates(decls, member.vars, updates),
+                    member.zone,
+                )
+            for move in self._moves(member):
+                if move.label != label or move.direction != direction:
+                    continue
+                nxt = self._post(member, move)
+                if nxt is not None:
+                    matched.append(nxt)
+        if not matched:
+            return False
+        self.states = self._instant_closure(matched)
+        self._closure = None
+        return True
+
+    def observe_move(self, move: Move) -> bool:
+        """Extend the trace by one *specific* move (not just its label).
+
+        Used when the observer knows exactly which composed move fired —
+        e.g. the tester's own environment-chosen input, whose
+        value-passing variant matters; label-level :meth:`observe` would
+        keep successors of every same-label variant.
+        """
+        matched: List[_Member] = []
+        for member in self.states:
+            nxt = self._post(member, move)
+            if nxt is not None:
+                matched.append(nxt)
+        if not matched:
+            return False
+        self.states = self._instant_closure(matched)
+        self._closure = None
+        return True
+
+    def enabled_labels(self, direction: str) -> List[str]:
+        """Labels of ``direction`` moves enabled in some member right now."""
+        labels: set = set()
+        for member in self.states:
+            for move in self._moves(member):
+                if move.direction != direction or move.label in labels:
+                    continue
+                if self._post(member, move) is not None:
+                    labels.add(move.label)
+        return sorted(labels)
+
+    def allowed_outputs(self) -> List[str]:
+        return self.enabled_labels("output")
+
+    def describe(self) -> str:
+        sizes = {}
+        for member in self.states:
+            names = self.system.network.location_names(member.locs)
+            key = ",".join(names)
+            sizes[key] = sizes.get(key, 0) + 1
+        body = "; ".join(f"{k} x{n}" if n > 1 else k for k, n in sorted(sizes.items()))
+        return f"estimate[{len(self.states)}: {body}]"
+
+
+__all__ = [
+    "EstimateLimit",
+    "StateEstimate",
+    "apply_var_updates",
+]

@@ -16,6 +16,36 @@ never blocks on missing receivers).  Controllability follows the paper's
 TIOGA convention: input channels are controllable; output, broadcast, and
 internal moves are uncontrollable (internal edges carry an explicit flag).
 
+Move enumeration comes in **three modes**, all served by one core
+(:meth:`System.moves_from`):
+
+``closed``
+    The flat product: every synchronization completes inside the network
+    (the game arena fed to the solvers).  Directions follow the channel
+    kinds.
+``open``
+    Every sync half fires alone — the network models a component whose
+    partners all live outside (``c?`` on an input channel is an input
+    move, ``c!`` on an output channel an output move).  Sound only for
+    single-automaton plants; kept as the legacy
+    :meth:`System.open_moves_from`.
+``partial``
+    Composition against the network's *interface partition*
+    (:meth:`repro.ta.model.Network.set_interface`): synchronizations the
+    network can complete on internalised (non-boundary) channels do
+    complete — becoming hidden, uncontrollable ``internal``-direction
+    moves (the label is kept for debuggability) — while boundary
+    channels stay open.  Boundary halves the network cannot
+    pair fire alone exactly as in ``open`` mode; boundary channels it
+    *can* pair synchronize in-model but keep their observable direction
+    (the fully-closed-with-hiding case used by the relativized monitor).
+    A boundary *broadcast* emission carries every enabled in-plant
+    receiver with it (one observable output move), and the environment
+    may trigger a broadcast reception: one input move per choice of one
+    enabled receiving edge in every listening automaton.  For a
+    single-automaton network partial mode degenerates to ``open``.
+    Committed/urgent rules are identical in all three modes.
+
 **Urgent locations** freeze delay exactly like committed ones (``d = 0``
 is the only legal delay while any automaton sits in one) but, unlike
 committed locations, grant no priority: every enabled move of the network
@@ -42,6 +72,11 @@ from .state import ConcreteState, SymbolicState, zero_valuation
 def _project_nothing(vars: Tuple[int, ...]) -> Tuple[int, ...]:
     """Projection of a var state for expressions reading no variables."""
     return ()
+
+
+#: Move-enumeration modes (see the module docstring).
+CLOSED, OPEN, PARTIAL = "closed", "open", "partial"
+MODES = (CLOSED, OPEN, PARTIAL)
 
 
 @dataclass(frozen=True)
@@ -351,15 +386,74 @@ class System:
         return cached
 
     def moves_from(
-        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+        self,
+        locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
+        mode: str = CLOSED,
     ) -> List[Move]:
-        """All moves whose *integer* guards hold (clock parts are zones)."""
-        key = (locs, self._moves_read_slots(locs)(vars))
+        """All moves whose *integer* guards hold (clock parts are zones).
+
+        ``mode`` selects the enumeration semantics — ``closed`` (the flat
+        product), ``open`` (every sync half alone), or ``partial``
+        (composition against the network's interface partition); see the
+        module docstring.  Results are memoized per (mode, locations,
+        read-slot projection of the variable state).
+        """
+        key = (mode, locs, self._moves_read_slots(locs)(vars))
         cached = self._moves_cache.get(key)
         if cached is not None:
             return cached
+        if mode not in MODES:
+            raise ValueError(f"unknown move mode {mode!r}; known: {MODES}")
+        moves = self._enumerate_moves(locs, vars, mode)
+        self._moves_cache[key] = moves
+        return moves
+
+    def open_moves_from(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> List[Move]:
+        """Moves of an *open* system: sync edges fire alone.
+
+        Used when a network models a single component (the plant spec for
+        the tioco monitor, or a simulated implementation) whose partners
+        live outside the model: an edge ``c?`` on an input channel is an
+        input move, ``c!`` on an output channel is an output move.  On a
+        broadcast channel the *edge* decides: the emitting half ``c!`` is
+        an (observable, uncontrollable) output of the component, the
+        receiving half ``c?`` an input the environment may trigger.
+
+        Equivalent to ``moves_from(locs, vars, mode=OPEN)`` — and, for a
+        single-automaton network, to the partial semantics.
+        """
+        return self.moves_from(locs, vars, OPEN)
+
+    def partial_moves_from(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> List[Move]:
+        """Moves of the partial composition (``moves_from`` in PARTIAL mode)."""
+        return self.moves_from(locs, vars, PARTIAL)
+
+    def partial_hides_syncs(self) -> bool:
+        """Whether partial-mode enumeration can produce hidden sync moves.
+
+        True iff some pairable channel is internalised by the network's
+        partition.  When False the partial semantics has no unobservable
+        timed moves beyond plain ``tau`` edges, and an exact
+        (single-state) monitor remains sound.
+        """
+        cached = getattr(self.network, "_partial_hides", None)
+        if cached is None:
+            cached = bool(self.network.internalised_channels())
+            self.network._partial_hides = cached
+        return cached
+
+    def _enumerate_moves(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...], mode: str
+    ) -> List[Move]:
         ctx = self.ctx(vars)
         committed = self.has_committed(locs)
+        network = self.network
+        boundary = network.boundary
         moves: List[Move] = []
 
         def committed_ok(indices: Iterable[int]) -> bool:
@@ -371,6 +465,7 @@ class System:
                     return True
             return False
 
+        # Internal (tau) edges are identical in every mode.
         for a_idx, per_loc in enumerate(self._internal):
             for edge in per_loc.get(locs[a_idx], ()):
                 if not committed_ok((a_idx,)):
@@ -379,31 +474,65 @@ class System:
                     moves.append(
                         Move("tau", "internal", edge.controllable, ((a_idx, edge),))
                     )
-        for channel_name, channel in self.network.channels.items():
-            emitters = self._emit.get(channel_name)
-            receivers = self._recv.get(channel_name)
+        for channel_name, channel in network.channels.items():
+            emitters = self._emit.get(channel_name) or {}
+            receivers = self._recv.get(channel_name) or {}
+            if not emitters and not receivers:
+                continue
             if channel.broadcast:
+                if mode == OPEN:
+                    moves.extend(
+                        self._solo_moves(
+                            channel, emitters, receivers, locs, vars, ctx,
+                            committed_ok,
+                        )
+                    )
+                    continue
+                hidden = mode == PARTIAL and channel_name not in boundary
                 moves.extend(
                     self._broadcast_moves(
-                        channel_name,
-                        emitters or {},
-                        receivers or {},
-                        locs,
-                        vars,
-                        ctx,
+                        channel_name, emitters, receivers, locs, vars, ctx,
+                        committed_ok,
+                        direction="internal" if hidden else "output",
+                    )
+                )
+                if mode == PARTIAL and not hidden:
+                    # The (unmodeled) environment may emit: one input move
+                    # per choice of one enabled receiving edge in every
+                    # listening automaton.
+                    moves.extend(
+                        self._broadcast_input_moves(
+                            channel_name, receivers, locs, vars, ctx,
+                            committed_ok,
+                        )
+                    )
+                continue
+            pairable = network.channel_pairable(channel_name)
+            if mode == OPEN or (mode == PARTIAL and not pairable):
+                if mode == PARTIAL and channel_name not in boundary:
+                    continue  # internalised but unpairable: dead channel
+                moves.extend(
+                    self._solo_moves(
+                        channel, emitters, receivers, locs, vars, ctx,
                         committed_ok,
                     )
                 )
                 continue
-            if not emitters or not receivers:
-                continue
-            direction = (
-                "input"
-                if channel.kind == "input"
-                else "output"
-                if channel.kind == "output"
-                else "internal"
-            )
+            if mode == PARTIAL and channel_name not in boundary:
+                # Internalised: a hidden plant-internal step — per the
+                # TIOGA convention internal moves are uncontrollable,
+                # whatever the channel kind says.
+                direction = "internal"
+                controllable = False
+            else:
+                direction = (
+                    "input"
+                    if channel.kind == "input"
+                    else "output"
+                    if channel.kind == "output"
+                    else "internal"
+                )
+                controllable = channel.controllable
             for i, send_by_loc in emitters.items():
                 for e_send in send_by_loc.get(locs[i], ()):
                     if not self._edge_int_ok(e_send, vars, ctx):
@@ -420,11 +549,53 @@ class System:
                                 Move(
                                     channel_name,
                                     direction,
-                                    channel.controllable,
+                                    controllable,
                                     ((i, e_send), (j, e_recv)),
                                 )
                             )
-        self._moves_cache[key] = moves
+        return moves
+
+    def _solo_moves(
+        self,
+        channel,
+        emitters,
+        receivers,
+        locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
+        ctx: Context,
+        committed_ok,
+    ) -> List[Move]:
+        """Sync halves firing alone (open mode / unpairable boundary)."""
+        moves: List[Move] = []
+        if channel.broadcast:
+            emit_dir, recv_dir = "output", "input"
+            emit_ctl, recv_ctl = False, True
+        else:
+            emit_dir = recv_dir = (
+                "input"
+                if channel.kind == "input"
+                else "output"
+                if channel.kind == "output"
+                else "internal"
+            )
+            emit_ctl = recv_ctl = channel.controllable
+        for table, direction, controllable in (
+            (emitters, emit_dir, emit_ctl),
+            (receivers, recv_dir, recv_ctl),
+        ):
+            for a_idx, by_loc in table.items():
+                for edge in by_loc.get(locs[a_idx], ()):
+                    if not committed_ok((a_idx,)):
+                        continue
+                    if self._edge_int_ok(edge, vars, ctx):
+                        moves.append(
+                            Move(
+                                channel.name,
+                                direction,
+                                controllable,
+                                ((a_idx, edge),),
+                            )
+                        )
         return moves
 
     def _broadcast_moves(
@@ -436,6 +607,7 @@ class System:
         vars: Tuple[int, ...],
         ctx: Context,
         committed_ok,
+        direction: str = "output",
     ) -> List[Move]:
         """Broadcast synchronizations from a discrete state.
 
@@ -447,6 +619,8 @@ class System:
         determined by the discrete state and each combination is a single
         symbolic move.  In a committed state the move is enabled iff *some*
         participant (emitter or receiver) occupies a committed location.
+        ``direction`` is ``output`` (observable) or ``internal`` (a
+        broadcast internalised by the partial semantics).
         """
         moves: List[Move] = []
         for i, send_by_loc in emitters.items():
@@ -470,61 +644,42 @@ class System:
                     moves.append(
                         Move(
                             channel_name,
-                            "output",
+                            direction,
                             False,
                             ((i, e_send),) + participants,
                         )
                     )
         return moves
 
-    def open_moves_from(
-        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    def _broadcast_input_moves(
+        self,
+        channel_name: str,
+        receivers,
+        locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
+        ctx: Context,
+        committed_ok,
     ) -> List[Move]:
-        """Moves of an *open* system: sync edges fire alone.
+        """Receptions of an environment-emitted broadcast (partial mode).
 
-        Used when a network models a single component (the plant spec for
-        the tioco monitor, or a simulated implementation) whose partners
-        live outside the model: an edge ``c?`` on an input channel is an
-        input move, ``c!`` on an output channel is an output move.  On a
-        broadcast channel the *edge* decides: the emitting half ``c!`` is
-        an (observable, uncontrollable) output of the component, the
-        receiving half ``c?`` an input the environment may trigger.
+        Every automaton with an enabled receiving edge participates; one
+        move per choice of one enabled edge each.  No move is produced
+        when nobody listens (an unheard broadcast is not a transition of
+        the plant).
         """
-        ctx = self.ctx(vars)
-        committed = self.has_committed(locs)
+        per_automaton: Dict[int, List[Edge]] = {}
+        for j, recv_by_loc in receivers.items():
+            for e_recv in recv_by_loc.get(locs[j], ()):
+                if self._edge_int_ok(e_recv, vars, ctx):
+                    per_automaton.setdefault(j, []).append(e_recv)
+        indices = sorted(per_automaton)
+        if not indices or not committed_ok(tuple(indices)):
+            return []
         moves: List[Move] = []
-        for a_idx, automaton in enumerate(self.automata):
-            src_loc = automaton.location_list[locs[a_idx]]
-            for edge in automaton.edges:
-                if automaton.location_index(edge.source) != locs[a_idx]:
-                    continue
-                if committed and not src_loc.committed:
-                    continue
-                if not edge.guard_split.int_holds(ctx):
-                    continue
-                if edge.sync is None:
-                    moves.append(
-                        Move("tau", "internal", edge.controllable, ((a_idx, edge),))
-                    )
-                    continue
-                channel = self.network.channels.get(edge.sync[0])
-                if channel is None:
-                    raise ModelError(f"undeclared channel on {edge.describe()}")
-                if channel.broadcast:
-                    direction = "output" if edge.sync[1] == "!" else "input"
-                    controllable = direction == "input"
-                else:
-                    direction = (
-                        "input"
-                        if channel.kind == "input"
-                        else "output"
-                        if channel.kind == "output"
-                        else "internal"
-                    )
-                    controllable = channel.controllable
-                moves.append(
-                    Move(channel.name, direction, controllable, ((a_idx, edge),))
-                )
+        for combo in itertools.product(*(per_automaton[j] for j in indices)):
+            moves.append(
+                Move(channel_name, "input", True, tuple(zip(indices, combo)))
+            )
         return moves
 
     # ------------------------------------------------------------------
@@ -736,6 +891,7 @@ class System:
         state: ConcreteState,
         *,
         open_system: bool = False,
+        mode: Optional[str] = None,
         directions: Optional[Tuple[str, ...]] = None,
     ) -> List[Tuple[Move, DelayInterval]]:
         """Moves enabled from ``state`` after *some* legal delay.
@@ -744,15 +900,25 @@ class System:
         delays enabling the move (guards and the source invariant).  This
         is the shared enumeration primitive of the tioco/rtioco monitors,
         the simulated implementations, and the random-run machinery of
-        :mod:`repro.gen`.
+        :mod:`repro.gen`.  ``mode`` selects the enumeration semantics
+        explicitly; the legacy ``open_system`` flag maps to ``OPEN``.
         """
-        if open_system:
-            moves = self.open_moves_from(state.locs, state.vars)
-        else:
-            moves = self.moves_from(state.locs, state.vars)
+        if mode is None:
+            mode = OPEN if open_system else CLOSED
+        moves = self.moves_from(state.locs, state.vars, mode)
         options: List[Tuple[Move, DelayInterval]] = []
         for move in moves:
             if directions is not None and move.direction not in directions:
+                continue
+            # Variable feasibility: a move whose update leaves a bounded
+            # variable's range (or violates the target's integer
+            # invariant) is not a transition — :meth:`fire` refuses it,
+            # so it must not be offered as enabled either.  Delays don't
+            # change variables, so this is delay-independent.
+            new_vars = self.apply_move_vars(state.vars, move)
+            if new_vars is None:
+                continue
+            if not self.invariant_int_ok(self.target_locs(state.locs, move), new_vars):
                 continue
             interval = self.enabled_interval(state, move)
             if interval is not None:
@@ -764,6 +930,7 @@ class System:
         state: ConcreteState,
         *,
         open_system: bool = False,
+        mode: Optional[str] = None,
         directions: Optional[Tuple[str, ...]] = None,
     ) -> List[Tuple[Move, DelayInterval]]:
         """Moves enabled at the current instant (zero delay)."""
@@ -771,7 +938,7 @@ class System:
         return [
             (move, interval)
             for move, interval in self.move_options(
-                state, open_system=open_system, directions=directions
+                state, open_system=open_system, mode=mode, directions=directions
             )
             if interval.contains(zero)
         ]

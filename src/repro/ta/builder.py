@@ -137,6 +137,7 @@ class NetworkBuilder:
         self.decls = Declarations()
         self._channels: List[Tuple[str, str]] = []
         self._automata: List[AutomatonBuilder] = []
+        self._interface: Optional[Tuple[str, ...]] = None
 
     # Declarations -----------------------------------------------------
 
@@ -192,6 +193,19 @@ class NetworkBuilder:
             self._channels.append((name, BROADCAST))
         return self
 
+    def interface(self, *names: str) -> "NetworkBuilder":
+        """Declare the observable boundary channels (partial composition).
+
+        Channels *not* listed are internalised: their synchronizations
+        complete inside the network under the partial semantics.  Repeat
+        calls accumulate; the first call — even with no names — marks the
+        interface as declared, so a single bare ``interface()`` yields an
+        empty boundary (a fully internalised plant).  See
+        :meth:`repro.ta.model.Network.set_interface`.
+        """
+        self._interface = (self._interface or ()) + names
+        return self
+
     # Automata ----------------------------------------------------------
 
     def automaton(self, name: str) -> AutomatonBuilder:
@@ -207,4 +221,6 @@ class NetworkBuilder:
             network.add_channel(name, kind)
         for builder in self._automata:
             network.add_automaton(builder._automaton)
+        if self._interface is not None:
+            network.set_interface(self._interface)
         return network.prepare()

@@ -4,6 +4,13 @@ Purely textual (no graphviz dependency): render with ``dot -Tpdf``.
 Conventions follow the paper's figures — solid edges for controllable
 actions (inputs), dashed edges for uncontrollable ones (outputs and
 plant-internal moves), double circles for initial locations.
+
+Networks that declare an *interface partition* additionally render it:
+sync edges on boundary channels are drawn bold (``penwidth=2``), edges on
+internalised channels dashed and grey (their synchronizations complete
+inside the plant and are hidden at the test interface), and the network
+graph carries a caption listing the partition — so a composed plant's
+observability is visible at a glance.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ def automaton_to_dot(
         extra = ""
         if network is not None:
             controllable = edge.controllable
+            hidden = False
             if edge.sync is not None:
                 channel = network.channels.get(edge.sync[0])
                 if channel is not None:
@@ -73,7 +81,16 @@ def automaton_to_dot(
                         # One-to-many synchronization: draw bold so the
                         # fan-out stands out in network figures.
                         extra = " penwidth=2"
-            style = "solid" if controllable else "dashed"
+                    if network.interface_declared:
+                        if channel.name in network.boundary:
+                            # Observable at the interface partition.
+                            extra = " penwidth=2"
+                        else:
+                            # Internalised: the sync completes inside the
+                            # plant, hidden from the test interface.
+                            hidden = True
+                            extra = ' color="#888888"'
+            style = "dashed" if (hidden or not controllable) else "solid"
         label = _edge_label(edge)
         lines.append(
             f'"{prefix}{edge.source}" -> "{prefix}{edge.target}"'
@@ -86,6 +103,14 @@ def automaton_to_dot(
 def network_to_dot(network: Network) -> str:
     """DOT source with one cluster per automaton, paper-figure style."""
     lines = [f'digraph "{_escape(network.name)}" {{', "rankdir=LR;", "compound=true;"]
+    if network.interface_declared:
+        boundary = ", ".join(sorted(network.boundary)) or "(none)"
+        internal = ", ".join(sorted(network.internalised_channels()))
+        caption = f"boundary: {boundary}"
+        if internal:
+            caption += f"\\ninternal: {internal}"
+        lines.append(f'label="{_escape(network.name)}\\n{caption}";')
+        lines.append("labelloc=t;")
     for automaton in network.automata:
         lines.append(automaton_to_dot(automaton, network, subgraph=True))
     lines.append("}")

@@ -18,6 +18,19 @@ declarations by binary channel synchronization — or, on ``broadcast``
 channels, by one-to-many synchronization — exactly like an UPPAAL system.
 Networks are *prepared* once (guards split, invariants checked, constants
 collected) and treated as immutable afterwards.
+
+**Interface partitions.**  A network may additionally declare which of
+its channels form the *observable boundary* to the outside world
+(:meth:`Network.set_interface` / ``NetworkBuilder.interface``).  The
+partition drives the *partial* semantics of
+:meth:`repro.semantics.system.System.moves_from`: synchronizations whose
+participants are all inside the network complete internally (hidden
+moves), while boundary channels stay open for the environment.  When no
+interface is declared the boundary defaults to the channels the network
+cannot synchronize by itself — binary channels lacking an
+emitter/receiver pair in two distinct automata — plus every broadcast
+channel (broadcast emission is always audible to an environment, which
+can never block or race the internal receivers).
 """
 
 from __future__ import annotations
@@ -176,6 +189,11 @@ class Network:
         self.automata: List[Automaton] = []
         self._by_name: Dict[str, Automaton] = {}
         self._prepared = False
+        self._interface: Optional[Tuple[str, ...]] = None
+        #: Observable boundary channels (set by :meth:`prepare`).
+        self.boundary: frozenset = frozenset()
+        #: Channel name -> (emitting automata indices, receiving indices).
+        self._chan_sides: Dict[str, Tuple[frozenset, frozenset]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -199,6 +217,28 @@ class Network:
 
     def automaton(self, name: str) -> Automaton:
         return self._by_name[name]
+
+    def set_interface(self, channels: Sequence[str]) -> "Network":
+        """Declare the observable boundary for *partial* composition.
+
+        ``channels`` is the subset of this network's channels observable
+        at the boundary; every other channel is internalised (its
+        synchronizations complete inside the network and become hidden
+        moves under the partial semantics).  Declaring the empty
+        interface internalises everything.  Must be called before
+        :meth:`prepare`; validated there.
+        """
+        if self._prepared:
+            raise ModelError(
+                "interface partition must be declared before prepare()"
+            )
+        self._interface = tuple(dict.fromkeys(channels))
+        return self
+
+    @property
+    def interface_declared(self) -> bool:
+        """True iff :meth:`set_interface` was called explicitly."""
+        return self._interface is not None
 
     # ------------------------------------------------------------------
     # Preparation
@@ -238,8 +278,37 @@ class Network:
                         )
                 edge.index = edge_counter
                 edge_counter += 1
+        self._compute_partition()
         self._prepared = True
         return self
+
+    def _compute_partition(self) -> None:
+        """Compute channel sides and the boundary; validate an explicit one."""
+        emit: Dict[str, set] = {name: set() for name in self.channels}
+        recv: Dict[str, set] = {name: set() for name in self.channels}
+        for a_idx, automaton in enumerate(self.automata):
+            for edge in automaton.edges:
+                if edge.sync is None:
+                    continue
+                side = emit if edge.sync[1] == "!" else recv
+                side[edge.sync[0]].add(a_idx)
+        self._chan_sides = {
+            name: (frozenset(emit[name]), frozenset(recv[name]))
+            for name in self.channels
+        }
+        if self._interface is not None:
+            for name in self._interface:
+                if name not in self.channels:
+                    raise ModelError(
+                        f"interface declares undeclared channel {name!r}"
+                    )
+            self.boundary = frozenset(self._interface)
+        else:
+            self.boundary = frozenset(
+                name
+                for name, channel in self.channels.items()
+                if channel.broadcast or not self.channel_pairable(name)
+            )
 
     def _check_invariant(self, automaton: Automaton, loc: Location) -> None:
         for atom in loc.inv_split.clock_atoms:
@@ -327,6 +396,40 @@ class Network:
             c.name for c in self.channels.values() if kind is None or c.kind == kind
         ]
 
+    def channel_sides(self, name: str) -> Tuple[frozenset, frozenset]:
+        """(emitting, receiving) automaton index sets of a channel.
+
+        Computed once by :meth:`prepare`; the static sides decide which
+        synchronizations the *partial* semantics can complete internally.
+        """
+        return self._chan_sides[name]
+
+    def channel_pairable(self, name: str) -> bool:
+        """Whether the network can complete a sync on ``name`` by itself.
+
+        Binary channels need an emitter and a receiver in two *distinct*
+        automata; a broadcast channel needs only an emitter (emission
+        never blocks on missing receivers).
+        """
+        emitters, receivers = self._chan_sides[name]
+        if self.channels[name].broadcast:
+            return bool(emitters)
+        return any(i != j for i in emitters for j in receivers)
+
+    def internalised_channels(self) -> frozenset:
+        """Channels hidden by the partition *and* actually pairable.
+
+        These are exactly the channels whose syncs complete internally
+        (as hidden moves) under the partial semantics; a non-boundary
+        channel the network cannot pair is simply dead, as in the closed
+        product.
+        """
+        return frozenset(
+            name
+            for name in self.channels
+            if name not in self.boundary and self.channel_pairable(name)
+        )
+
     def structural_text(self) -> str:
         """A canonical plain-text description of the network's structure.
 
@@ -351,6 +454,8 @@ class Network:
             )
         for channel in self.channels.values():
             lines.append(f"chan {channel.name} : {channel.kind}")
+        if self._interface is not None:
+            lines.append(f"interface [{', '.join(sorted(self._interface))}]")
         for automaton in self.automata:
             lines.append(f"automaton {automaton.name} init={automaton.initial}")
             for loc in automaton.location_list:

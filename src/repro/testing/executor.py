@@ -24,6 +24,7 @@ from fractions import Fraction
 from typing import Optional
 
 from ..game.strategy import Strategy, Verdictish
+from ..semantics.compose import EstimateLimit
 from ..semantics.state import ConcreteState
 from ..semantics.system import Move, System
 from .implementation import SimulatedImplementation
@@ -46,6 +47,15 @@ class TestExecutor:
     own state.  Value-passing inputs carry the emitting environment edge's
     shared-variable updates to the implementation and the monitor (the
     UPPAAL idiom for parameterized actions).
+
+    Composed (multi-automaton) plants are driven through the partial
+    semantics: the spec monitor auto-selects symbolic state-set tracking
+    when the plant internalises synchronizations, and the simulated
+    implementation runs hidden syncs as internal steps.  The strategy's
+    *own* state tracking stays exact over the closed arena; when the
+    arena hides timed syncs from the tester, a strategy may lose track of
+    the plant and return INCONCLUSIVE — never an unsound verdict, since
+    PASS needs the goal and FAIL needs a (sound) monitor violation.
     """
 
     strategy: Strategy
@@ -97,12 +107,22 @@ class TestExecutor:
     def run(self) -> TestRun:
         strategy = self.strategy
         composed = strategy.system
-        monitor = TiocoMonitor(self.spec_plant)
         imp = self.implementation
         imp.reset()
         tester = self._settle_tau(composed, composed.initial_concrete())
         trace = TimedTrace()
+        try:
+            # Monitor construction may already run a hidden-move closure.
+            monitor = TiocoMonitor(self.spec_plant)
+            return self._run_loop(strategy, monitor, imp, tester, trace)
+        except EstimateLimit as limit:
+            # The composed spec's hidden-move closure blew its budget:
+            # no verdict either way, never a crash.
+            return TestRun(
+                INCONCLUSIVE, trace, f"state-estimate budget: {limit}", 0
+            )
 
+    def _run_loop(self, strategy, monitor, imp, tester, trace) -> TestRun:
         for iteration in range(1, self.max_iterations + 1):
             decision = strategy.decide(tester)
             if decision.kind == Verdictish.DONE:
@@ -162,7 +182,11 @@ class TestExecutor:
             )
         trace.add_action(label, "input")
         if not monitor.observe(label, "input", updates):
-            return TestRun(FAIL, trace, monitor.violation or "spec refused input")
+            # The spec refusing its own strategy's input is a tracking
+            # contradiction, not an IUT violation (the IUT accepted it).
+            return self._tracking_fail(
+                trace, monitor.violation or "spec refused input"
+            )
         nxt = composed.fire(tester, move)
         if nxt is None:
             raise TestExecutionError(
@@ -205,20 +229,20 @@ class TestExecutor:
             new_tester = self._delay_tester(composed, tester, d)
             if label is None:
                 # Internal move of the implementation: nothing observed.
-                return new_tester if new_tester is not None else TestRun(
-                    FAIL, trace, "tester time left the spec invariant"
+                return new_tester if new_tester is not None else self._tracking_fail(
+                    trace, "tester time left the spec invariant"
                 )
             trace.add_action(label, "output")
             if not monitor.observe(label, "output"):
                 return TestRun(FAIL, trace, monitor.violation or "bad output")
             if new_tester is None:
-                return TestRun(FAIL, trace, "tester time left the spec invariant")
+                return self._tracking_fail(
+                    trace, "tester time left the spec invariant"
+                )
             next_tester = self._tester_output(composed, new_tester, label)
             if next_tester is None:
-                return TestRun(
-                    FAIL,
-                    trace,
-                    f"output {label}! not accepted by composed spec state",
+                return self._tracking_fail(
+                    trace, f"output {label}! not accepted by composed spec state"
                 )
             return next_tester
 
@@ -229,8 +253,34 @@ class TestExecutor:
             return TestRun(FAIL, trace, monitor.violation or "quiescence violation")
         new_tester = self._delay_tester(composed, tester, wait_for)
         if new_tester is None:
-            return TestRun(FAIL, trace, "tester time left the spec invariant")
+            return self._tracking_fail(
+                trace, "tester time left the spec invariant"
+            )
         return new_tester
+
+    def _tracking_fail(self, trace: TimedTrace, reason: str) -> TestRun:
+        """A failure of the *tester's own* composed-state tracking.
+
+        With a fully observable plant this is a genuine FAIL (the monitor
+        checks passed, so the contradiction lies with the implementation).
+        When the plant *runs under the partial semantics* (interface
+        declared) and hides syncs, the tester's exact arena state may
+        simply be stale — hidden moves fired at times it cannot know — so
+        the only sound verdict is INCONCLUSIVE: FAIL must come from the
+        (set-tracking, hence sound) conformance monitor alone.  The guard
+        mirrors the monitors' own mode selection: an undeclared network
+        is driven in exact open mode, where tracking failures stay FAIL.
+        """
+        if (
+            self.spec_plant.network.interface_declared
+            and self.spec_plant.partial_hides_syncs()
+        ):
+            return TestRun(
+                INCONCLUSIVE,
+                trace,
+                f"tester lost track of the hidden-sync plant ({reason})",
+            )
+        return TestRun(FAIL, trace, reason)
 
     @staticmethod
     def _settle_tau(composed: System, state: ConcreteState) -> ConcreteState:

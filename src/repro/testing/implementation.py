@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Protocol, Sequence, Tuple
 
+from ..semantics.compose import apply_var_updates as _apply_var_updates
 from ..semantics.state import ConcreteState
-from ..semantics.system import DelayInterval, Move, System
+from ..semantics.system import OPEN, PARTIAL, DelayInterval, Move, System
 
 
 @dataclass(frozen=True)
@@ -138,13 +139,23 @@ class RandomPolicy:
 
 
 class SimulatedImplementation:
-    """A deterministic, output-urgent TIOTS interpreter (the IMP)."""
+    """A deterministic, output-urgent TIOTS interpreter (the IMP).
+
+    ``mode`` selects the move-enumeration semantics: the *partial*
+    composition when the network declares an interface partition (a
+    composed plant runs its internalised synchronizations as hidden
+    internal steps, scheduled by the output policy like any other
+    unobservable move), the legacy *open* semantics otherwise.
+    """
 
     def __init__(self, system: System, policy: Optional[OutputPolicy] = None,
-                 name: str = "IMP"):
+                 name: str = "IMP", mode: Optional[str] = None):
         self.system = system
         self.policy = policy or EagerPolicy()
         self.name = name
+        if mode is None:
+            mode = PARTIAL if system.network.interface_declared else OPEN
+        self.mode = mode
         self.state: ConcreteState = system.initial_concrete()
         self._schedule: Optional[ScheduledOutput] = None
         self._reschedule()
@@ -157,7 +168,7 @@ class SimulatedImplementation:
 
     def _output_options(self) -> List[Tuple[Move, DelayInterval]]:
         return self.system.move_options(
-            self.state, open_system=True, directions=("output", "internal")
+            self.state, mode=self.mode, directions=("output", "internal")
         )
 
     def _reschedule(self) -> None:
@@ -227,7 +238,7 @@ class SimulatedImplementation:
         matches = [
             move
             for move, _ in self.system.enabled_now(
-                self.state, open_system=True, directions=("input",)
+                self.state, mode=self.mode, directions=("input",)
             )
             if move.label == label
         ]
@@ -243,15 +254,4 @@ class SimulatedImplementation:
 
 def apply_var_updates(system: System, vars: tuple, updates) -> tuple:
     """Apply ``(name, index_or_None, value)`` updates to a variable tuple."""
-    state = list(vars)
-    decls = system.decls
-    for name, index, value in updates:
-        if index is None:
-            var = decls.int_vars.get(name)
-            if var is not None:
-                state[var.slot] = value
-        else:
-            arr = decls.arrays.get(name)
-            if arr is not None and 0 <= index < arr.size:
-                state[arr.offset + index] = value
-    return tuple(state)
+    return _apply_var_updates(system.decls, vars, updates)

@@ -7,46 +7,45 @@ cannot accept (because the environment model never listens for it there)
 is a violation even if the plant spec alone would allow it.
 
 :class:`RelativizedMonitor` tracks the composed (plant ∥ environment)
-specification state.  Inputs are reported as full composed moves (the
-tester knows which environment edge it took, including value-passing
-variants); outputs and delays are checked against what the composed model
-admits.
+specification state.  When the composed network declares an interface
+partition, the monitor enumerates it under the *partial* semantics: only
+boundary channels are observable at the test interface, and plant-side
+synchronizations on internalised channels become hidden moves.  Hidden
+timed moves make ``After σ`` a set of states, tracked symbolically by
+:class:`repro.semantics.compose.StateEstimate`; without them the monitor
+keeps one exact :class:`ConcreteState` as before.  The exact/estimated
+plumbing is shared with :class:`TiocoMonitor` through
+:class:`~repro.testing.tioco.SpecMonitorBase`.
+
+Inputs may be reported either as full composed moves (the tester knows
+which environment edge it took, including value-passing variants —
+:meth:`observe_move`) or by label (:meth:`observe_input`); outputs and
+delays are checked against what the composed model admits.
+
+Caveat of the partial semantics for *composed* specs: a boundary channel
+the composition cannot pair (e.g. an environment model that never emits
+an input the plant listens for) fires as a solo half, so the monitor
+accepts it even though the in-model environment could never produce it —
+the closed semantics would treat the channel as dead.  Declare such
+channels *internalised* (off the interface) if the environment model's
+restrictions must be enforced; the boundary is for channels genuinely
+open to the world outside the composition.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Optional
 
-from ..semantics.state import ConcreteState
-from ..semantics.system import Move, System
-from .tioco import Quiescence
+from ..semantics.system import CLOSED, Move
+from .tioco import Quiescence, SpecMonitorBase, SpecNondeterminism
+
+__all__ = ["Quiescence", "RelativizedMonitor", "RtiocoMonitor"]
 
 
-class RelativizedMonitor:
+class RelativizedMonitor(SpecMonitorBase):
     """Tracks ``(plant ∥ env) After σ`` for rtioco checking."""
 
-    def __init__(self, composed_spec: System):
-        self.spec = composed_spec
-        self.state: ConcreteState = composed_spec.initial_concrete()
-        self.violation: Optional[str] = None
-        self._settle()
-
-    # ------------------------------------------------------------------
-
-    def reset(self) -> None:
-        self.state = self.spec.initial_concrete()
-        self.violation = None
-        self._settle()
-
-    @property
-    def ok(self) -> bool:
-        return self.violation is None
-
-    def _fail(self, reason: str) -> bool:
-        self.violation = reason
-        return False
+    _fallback_mode = CLOSED
 
     def _settle(self) -> None:
         """Resolve committed internal moves (deterministic specs).
@@ -61,12 +60,12 @@ class RelativizedMonitor:
             if self.spec.can_delay(self.state.locs):
                 return
             if not self.spec.has_committed(self.state.locs) and self.spec.enabled_now(
-                self.state, directions=("output",)
+                self.state, mode=self.mode, directions=("output",)
             ):
                 return  # urgent-only freeze with an observable resolution
             fired = False
             for move, _ in self.spec.enabled_now(
-                self.state, directions=("internal",)
+                self.state, mode=self.mode, directions=("internal",)
             ):
                 nxt = self.spec.fire(self.state, move)
                 if nxt is not None:
@@ -76,45 +75,36 @@ class RelativizedMonitor:
             if not fired:
                 return
 
-    # ------------------------------------------------------------------
-    # Out(state) under the environment
-    # ------------------------------------------------------------------
-
-    def allowed_outputs(self) -> List[str]:
-        return sorted(
-            {
-                move.label
-                for move, _ in self.spec.enabled_now(
-                    self.state, directions=("output",)
-                )
-            }
+    def _quiescence_message(self, d: Fraction) -> str:
+        if self.estimated:
+            return (
+                f"quiescence of {d} not admitted by any run of the composed"
+                f" specification (rtioco)"
+            )
+        return (
+            f"quiescence of {d} exceeds the composed specification's bound"
+            f" {self.max_quiescence().bound} (rtioco)"
         )
-
-    def max_quiescence(self) -> Quiescence:
-        bound, strict = self.spec.max_delay(self.state)
-        return Quiescence(bound, strict)
 
     # ------------------------------------------------------------------
     # Trace extension
     # ------------------------------------------------------------------
 
-    def advance(self, d: Fraction) -> bool:
-        if not self.ok:
-            return False
-        if d == 0:
-            return True
-        if not self.max_quiescence().allows(d):
-            return self._fail(
-                f"quiescence of {d} exceeds the composed specification's"
-                f" bound {self.max_quiescence().bound} (rtioco)"
-            )
-        self.state = self.state.delayed(d)
-        return True
-
     def observe_move(self, move: Move) -> bool:
-        """The tester's own (environment-chosen) input move."""
+        """The tester's own (environment-chosen) input move.
+
+        The *specific* move is applied — value-passing variants sharing a
+        label stay distinguished — in both tracking modes.
+        """
         if not self.ok:
             return False
+        if self._estimate is not None:
+            if not self._estimate.observe_move(move):
+                return self._fail(
+                    f"input move {move.label} not enabled in the composed"
+                    f" specification (environment model violated?)"
+                )
+            return True
         nxt = self.spec.fire(self.state, move)
         if nxt is None:
             return self._fail(
@@ -125,10 +115,53 @@ class RelativizedMonitor:
         self._settle()
         return True
 
+    def observe_input(self, label: str) -> bool:
+        """An input reported by label only (any enabled composed move)."""
+        if not self.ok:
+            return False
+        if self._estimate is not None:
+            if not self._estimate.observe(label, "input"):
+                return self._fail(
+                    f"input {label} not enabled in the composed"
+                    f" specification (environment model violated?)"
+                )
+            return True
+        successors = []
+        for move, _ in self.spec.enabled_now(
+            self.state, mode=self.mode, directions=("input",)
+        ):
+            if move.label != label:
+                continue
+            nxt = self.spec.fire(self.state, move)
+            if nxt is not None:
+                successors.append(nxt)
+        if not successors:
+            return self._fail(
+                f"input {label} not enabled in the composed specification"
+                f" (environment model violated?)"
+            )
+        if len(set(successors)) > 1:
+            raise SpecNondeterminism(
+                f"composed specification is nondeterministic on input {label}"
+            )
+        self.state = successors[0]
+        self._settle()
+        return True
+
     def observe_output(self, label: str) -> bool:
         if not self.ok:
             return False
-        for move, _ in self.spec.enabled_now(self.state, directions=("output",)):
+        if self._estimate is not None:
+            if not self._estimate.observe(label, "output"):
+                return self._fail(
+                    f"output {label}! not admitted by the composed"
+                    f" specification here (allowed:"
+                    f" {self.allowed_outputs() or 'none'}) (rtioco)"
+                )
+            return True
+        for move, _ in self.spec.enabled_now(
+            self.state, mode=self.mode, directions=("output",)
+        ):
             if move.label != label:
                 continue
             nxt = self.spec.fire(self.state, move)

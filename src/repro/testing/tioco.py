@@ -10,11 +10,27 @@ test executor builds σ incrementally, and answers two questions:
   time T makes longer quiescence a conformance violation);
 * may the plant emit output ``o`` right now?
 
-The paper's test hypotheses make SPEC deterministic, so ``After σ`` is a
-single state once the trace (with exact delays) is fixed; the monitor
-keeps one exact :class:`ConcreteState` and raises on genuinely
-nondeterministic specs (same action enabled via two different moves at
-the same instant with different successors).
+The specification is enumerated under a :mod:`repro.semantics.system`
+mode — ``partial`` when the network declares an interface partition
+(composed plants: internal syncs complete as hidden moves, boundary
+channels stay open), the legacy ``open`` semantics otherwise.  Two
+tracking strategies implement ``After σ``:
+
+* **exact** — the paper's test hypotheses make SPEC deterministic, so
+  once the spec has no *hidden timed* moves, ``After σ`` is a single
+  state for a fixed trace; the monitor keeps one exact
+  :class:`ConcreteState` and raises on genuinely nondeterministic specs
+  (same action enabled via two different moves at the same instant with
+  different successors);
+* **estimated** — a composed plant internalises synchronizations that
+  fire at instants the tester cannot observe, so ``After σ`` is a *set*
+  of states; the monitor then delegates to
+  :class:`repro.semantics.compose.StateEstimate`, which tracks the set
+  symbolically.  Selected automatically whenever the partial semantics
+  can hide syncs.
+
+:class:`SpecMonitorBase` holds the tracking scaffolding shared with the
+relativized monitor (:mod:`repro.testing.rtioco`).
 """
 
 from __future__ import annotations
@@ -23,8 +39,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Tuple
 
+from ..semantics.compose import StateEstimate
 from ..semantics.state import ConcreteState
-from ..semantics.system import Move, System
+from ..semantics.system import OPEN, PARTIAL, Move, System
 
 
 class SpecNondeterminism(RuntimeError):
@@ -44,21 +61,110 @@ class Quiescence:
         return d < self.bound or (d == self.bound and not self.strict)
 
 
-class TiocoMonitor:
-    """Tracks ``s0 After σ`` of an open plant specification."""
+class SpecMonitorBase:
+    """Shared ``After σ`` tracking of the tioco / rtioco monitors.
 
-    def __init__(self, spec: System):
+    Selects the enumeration mode (``partial`` when the network declares
+    an interface partition, the subclass's ``_fallback_mode`` otherwise)
+    and the tracking strategy (symbolic state set whenever the partial
+    semantics can hide syncs, one exact concrete state otherwise), and
+    implements the operations whose logic is mode-independent.
+    Subclasses contribute their settling rule, observation methods, and
+    failure messages.
+    """
+
+    #: Enumeration mode when the network declares no interface partition.
+    _fallback_mode: str = OPEN
+
+    def __init__(self, spec: System, mode: Optional[str] = None):
         self.spec = spec
-        self.state: ConcreteState = spec.initial_concrete()
+        if mode is None:
+            mode = (
+                PARTIAL
+                if spec.network.interface_declared
+                else self._fallback_mode
+            )
+        self.mode = mode
         self.violation: Optional[str] = None
-        self._settle()
+        self._estimate: Optional[StateEstimate] = None
+        self.state: Optional[ConcreteState] = None
+        if mode == PARTIAL and spec.partial_hides_syncs():
+            self._estimate = StateEstimate(spec, mode)
+        else:
+            self.state = spec.initial_concrete()
+            self._settle()
 
-    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        raise NotImplementedError
+
+    def _quiescence_message(self, d: Fraction) -> str:
+        raise NotImplementedError
+
+    @property
+    def estimated(self) -> bool:
+        """Whether ``After σ`` is tracked as a symbolic state set."""
+        return self._estimate is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def _fail(self, reason: str) -> bool:
+        self.violation = reason
+        return False
 
     def reset(self) -> None:
-        self.state = self.spec.initial_concrete()
         self.violation = None
+        if self._estimate is not None:
+            self._estimate.reset()
+            return
+        self.state = self.spec.initial_concrete()
         self._settle()
+
+    def enabled_labels(self, direction: str) -> List[str]:
+        """Labels of ``direction`` moves the spec enables right now."""
+        if self._estimate is not None:
+            return self._estimate.enabled_labels(direction)
+        return sorted(
+            {
+                move.label
+                for move, _ in self.spec.enabled_now(
+                    self.state, mode=self.mode, directions=(direction,)
+                )
+            }
+        )
+
+    def allowed_outputs(self) -> List[str]:
+        """``Out(s After σ)`` restricted to actions (paper §2.2)."""
+        return self.enabled_labels("output")
+
+    def max_quiescence(self) -> Quiescence:
+        """The largest delay in ``Out(s After σ)`` (invariant bound)."""
+        if self._estimate is not None:
+            return Quiescence(*self._estimate.max_quiescence())
+        bound, strict = self.spec.max_delay(self.state)
+        return Quiescence(bound, strict)
+
+    def advance(self, d: Fraction) -> bool:
+        """Extend σ by a delay; False = quiescence not allowed by spec."""
+        if not self.ok:
+            return False
+        if d == 0:
+            return True
+        if self._estimate is not None:
+            if not self._estimate.advance(d):
+                return self._fail(self._quiescence_message(d))
+            return True
+        if not self.max_quiescence().allows(d):
+            return self._fail(self._quiescence_message(d))
+        self.state = self.state.delayed(d)
+        return True
+
+
+class TiocoMonitor(SpecMonitorBase):
+    """Tracks ``s0 After σ`` of an open or partially composed plant spec."""
+
+    _fallback_mode = OPEN
 
     def _settle(self) -> None:
         """Silently resolve unobservable processing in frozen-time states.
@@ -86,7 +192,7 @@ class TiocoMonitor:
             internal = [
                 move
                 for move, _ in self.spec.enabled_now(
-                    self.state, open_system=True, directions=("internal",)
+                    self.state, mode=self.mode, directions=("internal",)
                 )
             ]
             if not internal:
@@ -104,55 +210,39 @@ class TiocoMonitor:
             self.state = nxt
         raise SpecNondeterminism("internal-move settling did not converge")
 
-    @property
-    def ok(self) -> bool:
-        return self.violation is None
-
-    def _fail(self, reason: str) -> bool:
-        self.violation = reason
-        return False
+    def _quiescence_message(self, d: Fraction) -> str:
+        if self.estimated:
+            return (
+                f"implementation stayed quiescent for {d} time units but no"
+                f" run of the composed specification allows it"
+            )
+        return (
+            f"implementation stayed quiescent for {d} time units but the"
+            f" specification forces an action by {self.max_quiescence().bound}"
+        )
 
     # ------------------------------------------------------------------
     # Out(state) pieces
     # ------------------------------------------------------------------
 
     def enabled_now(self, direction: Optional[str] = None) -> List[Tuple[Move, str]]:
-        """Moves enabled at the current instant (optionally by direction)."""
+        """Moves enabled at the current instant (exact tracking only)."""
+        if self._estimate is not None:
+            raise RuntimeError(
+                "enabled_now is undefined on an estimated monitor; use"
+                " enabled_labels"
+            )
         directions = None if direction is None else (direction,)
         return [
             (move, move.label)
             for move, _ in self.spec.enabled_now(
-                self.state, open_system=True, directions=directions
+                self.state, mode=self.mode, directions=directions
             )
         ]
-
-    def allowed_outputs(self) -> List[str]:
-        """``Out(s After σ)`` restricted to actions (paper §2.2)."""
-        return sorted({label for _, label in self.enabled_now("output")})
-
-    def max_quiescence(self) -> Quiescence:
-        """The largest delay in ``Out(s After σ)`` (invariant bound)."""
-        bound, strict = self.spec.max_delay(self.state)
-        return Quiescence(bound, strict)
 
     # ------------------------------------------------------------------
     # Trace extension
     # ------------------------------------------------------------------
-
-    def advance(self, d: Fraction) -> bool:
-        """Extend σ by a delay; False = quiescence not allowed by spec."""
-        if not self.ok:
-            return False
-        if d == 0:
-            return True
-        if not self.max_quiescence().allows(d):
-            return self._fail(
-                f"implementation stayed quiescent for {d} time units but the"
-                f" specification forces an action by"
-                f" {self.max_quiescence().bound}"
-            )
-        self.state = self.state.delayed(d)
-        return True
 
     def observe(self, label: str, direction: str, updates=None) -> bool:
         """Extend σ by an observed action; False = tioco violation.
@@ -163,6 +253,19 @@ class TiocoMonitor:
         """
         if not self.ok:
             return False
+        if self._estimate is not None:
+            if not self._estimate.observe(label, direction, updates):
+                if direction == "output":
+                    allowed = self._estimate.allowed_outputs()
+                    return self._fail(
+                        f"output {label}! not allowed by specification here"
+                        f" (allowed outputs: {allowed or 'none'})"
+                    )
+                return self._fail(
+                    f"input {label}? unexpectedly refused by specification"
+                    f" (spec not input-enabled?)"
+                )
+            return True
         if updates:
             from .implementation import apply_var_updates
 

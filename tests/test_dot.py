@@ -66,3 +66,46 @@ class TestStrategyDot:
         assert "(goal)" in dot
         assert "touch" in dot
         assert dot.count("{") == dot.count("}")
+
+
+class TestInterfacePartitionDot:
+    @staticmethod
+    def composed_plant():
+        from repro.ta.builder import NetworkBuilder
+
+        net = NetworkBuilder("pipeline")
+        net.input_channel("go")
+        net.output_channel("h", "fin")
+        net.interface("go", "fin")
+        a = net.automaton("A")
+        a.location("Idle", initial=True)
+        a.location("Done")
+        a.edge("Idle", "Done", sync="go?")
+        a.edge("Done", "Done", sync="h!")
+        b = net.automaton("B")
+        b.location("Wait", initial=True)
+        b.edge("Wait", "Wait", sync="h?")
+        b.edge("Wait", "Wait", sync="fin!")
+        return net.build()
+
+    def test_boundary_edges_bold_internalised_dashed_grey(self):
+        network = self.composed_plant()
+        dot = network_to_dot(network)
+        lines = {line for line in dot.splitlines() if "->" in line}
+        go_line = next(line for line in lines if "go?" in line)
+        h_lines = [line for line in lines if "h!" in line or "h?" in line]
+        fin_line = next(line for line in lines if "fin!" in line)
+        assert "penwidth=2" in go_line and "penwidth=2" in fin_line
+        for line in h_lines:
+            assert "style=dashed" in line and "#888888" in line
+            assert "penwidth" not in line
+
+    def test_partition_caption(self):
+        dot = network_to_dot(self.composed_plant())
+        assert "boundary: fin, go" in dot
+        assert "internal: h" in dot
+
+    def test_undeclared_networks_render_unchanged(self):
+        dot = network_to_dot(smartlight_network())
+        assert "boundary:" not in dot
+        assert "#888888" not in dot

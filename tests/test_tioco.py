@@ -129,3 +129,104 @@ class TestMonitorWithCommittedSpec:
         iut = monitor.spec.network.automaton("IUT")
         assert monitor.state.locs[0] == iut.location_index("forward")
         assert monitor.ok
+
+
+class TestMonitorOnComposedPlant:
+    """A two-automaton plant: the monitor must track the hidden-hop set.
+
+    Stage A forwards a hidden token within 2 time units of ``go``; stage
+    B emits ``fin`` between 1 and 3 time units after the (unobservable)
+    hop.  ``s0 After sigma`` is a set of states, tracked symbolically.
+    """
+
+    @staticmethod
+    def plant():
+        from repro.ta.builder import NetworkBuilder
+
+        net = NetworkBuilder("chain2")
+        net.clock("c0", "c1")
+        net.input_channel("go")
+        net.output_channel("h", "fin")
+        net.interface("go", "fin")
+        a = net.automaton("A")
+        a.location("Idle", initial=True)
+        a.location("Busy", "c0 <= 2")
+        a.location("Done")
+        a.edge("Idle", "Busy", sync="go?", assign="c0 := 0")
+        a.edge("Busy", "Done", sync="h!")
+        a.edge("Busy", "Busy", sync="go?")
+        a.edge("Done", "Done", sync="go?")
+        b = net.automaton("B")
+        b.location("Wait", initial=True)
+        b.location("Hold", "c1 <= 3")
+        b.location("End")
+        b.edge("Wait", "Hold", sync="h?", assign="c1 := 0")
+        b.edge("Hold", "End", sync="fin!", guard="c1 >= 1")
+        return net.build()
+
+    @pytest.fixture()
+    def composed(self):
+        return TiocoMonitor(System(self.plant()))
+
+    def test_auto_selects_estimated_tracking(self, composed):
+        assert composed.estimated
+        assert composed.mode == "partial"
+
+    def test_hidden_hop_is_not_an_observable_output(self, composed):
+        composed.observe("go", "input")
+        assert composed.allowed_outputs() == []  # h is internalised
+        assert composed.enabled_labels("input") == ["go"]
+
+    def test_quiescence_spans_both_stage_windows(self, composed):
+        composed.observe("go", "input")
+        q = composed.max_quiescence()
+        assert q.bound == Fraction(5) and not q.strict
+
+    def test_conforming_session_passes(self, composed):
+        assert composed.observe("go", "input")
+        assert composed.advance(Fraction(2))
+        assert composed.allowed_outputs() == ["fin"]
+        assert composed.observe("fin", "output")
+        assert composed.ok
+
+    def test_output_before_any_hop_could_enable_it_fails(self, composed):
+        composed.observe("go", "input")
+        composed.advance(Fraction(1, 2))
+        assert not composed.observe("fin", "output")
+        assert not composed.ok
+        assert "fin" in composed.violation
+
+    def test_overlong_silence_fails(self, composed):
+        composed.observe("go", "input")
+        assert not composed.advance(Fraction(6))
+        assert not composed.ok
+        assert "quiescent" in composed.violation
+
+    def test_reset_recovers(self, composed):
+        composed.observe("go", "input")
+        composed.advance(Fraction(6))
+        assert not composed.ok
+        composed.reset()
+        assert composed.ok
+        assert composed.max_quiescence().bound is None
+
+    def test_session_against_simulated_implementation(self):
+        from repro.testing import EagerPolicy, SimulatedImplementation
+
+        system = System(self.plant())
+        imp = SimulatedImplementation(system, EagerPolicy())
+        monitor = TiocoMonitor(System(self.plant()))
+        assert imp.mode == "partial"
+        assert imp.give_input("go")
+        assert monitor.observe("go", "input")
+        for _ in range(8):
+            scheduled = imp.next_output()
+            if scheduled is None:
+                break
+            label = imp.advance(scheduled.delay)
+            assert monitor.advance(scheduled.delay)
+            if label is not None:
+                assert monitor.observe(label, "output"), monitor.violation
+        assert monitor.ok
+        # The eager run emitted fin; the spec allows nothing further.
+        assert monitor.allowed_outputs() == []
