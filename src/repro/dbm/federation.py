@@ -53,8 +53,9 @@ from . import stack as _sk
 from .bounds import INF, LE_ZERO, negate
 from .dbm import DBM
 
-#: Below this many member zones, per-zone DBM ops beat the batched kernel.
-_BATCH_MIN = 3
+#: Below this many member zones, per-zone DBM ops beat the batched kernel
+#: (shared with the state-estimate closure; see ``stack.BATCH_MIN``).
+_BATCH_MIN = _sk.BATCH_MIN
 
 
 def subtract_zone(a: DBM, b: DBM) -> List[DBM]:

@@ -29,14 +29,20 @@ Exactness notes:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..util import counters
-from .bounds import INF, INF_SOFT, LE_ZERO
+from .bounds import INF, INF_SOFT, LE_ZERO, MAX_BOUND_CONST
 
 Constraint = Tuple[int, int, int]
+
+#: Below this many stacked zones the per-zone DBM path beats the batched
+#: kernel: at one or two members the kernel's fixed cost (gather, masks,
+#: re-wrap) exceeds the dispatch overhead it amortizes.  Shared by the
+#: federation layer and the state-estimate closure.
+BATCH_MIN = 3
 
 
 def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -207,6 +213,87 @@ def disjoint_mask(stack: np.ndarray, zone_m: np.ndarray) -> np.ndarray:
     """
     total = saturating_add(stack, zone_m.T[None])
     return (total < LE_ZERO).any(axis=(1, 2))
+
+
+def scale_stack(stack: np.ndarray, factor: int) -> bool:
+    """Multiply every finite bound constant by ``factor``, in place.
+
+    The batched form of the state-estimate rescaling trick: scaling all
+    values by one positive factor preserves shortest-path inequalities
+    and strictness bits, so canonical rows stay canonical.  Returns False
+    (leaving the stack only partially scaled — the caller must discard
+    it) if a scaled constant would leave the range the drift-tolerant
+    closure is sound for; True on success.
+    """
+    counters.inc("stack.rescales")
+    counters.inc("stack.rescaled_zones", stack.shape[0])
+    finite = stack < INF
+    values = (stack >> 1) * factor
+    if (np.abs(values[finite]) > MAX_BOUND_CONST).any():
+        return False
+    scaled = (values << 1) | (stack & 1)
+    np.copyto(stack, scaled, where=finite)
+    return True
+
+
+def hidden_post_step(
+    stack: np.ndarray,
+    guard: Sequence[Constraint],
+    reset_clocks: Sequence[int],
+    shifts: Sequence[Tuple[int, int]],
+    invariant: Sequence[Constraint],
+    *,
+    delay: bool,
+) -> np.ndarray:
+    """One move's discrete successor over a whole stack, in place.
+
+    The batched ``delay ∘ post`` step of the state-estimate closure:
+    guard intersection, clock reset/assignment, target-invariant
+    intersection, and (iff ``delay``) the delay closure re-bounded by the
+    same invariant — the constraint lists are shared by every row because
+    the caller groups members by discrete state.  Returns the nonempty
+    mask; rows already inconsistent after the guard still flow through
+    the remaining (cheap, mask-safe) steps and stay masked out.
+    """
+    counters.inc("stack.hidden_posts")
+    counters.inc("stack.hidden_post_zones", stack.shape[0])
+    keep = constrain(stack, guard) if guard else np.ones(stack.shape[0], bool)
+    if reset_clocks:
+        reset(stack, reset_clocks)
+    if shifts:
+        shift(stack, shifts)
+    if invariant:
+        keep &= constrain(stack, invariant)
+    if delay:
+        up(stack)
+        if invariant:
+            keep &= constrain(stack, invariant)
+    return keep
+
+
+def subsume_frontier(
+    new: np.ndarray, seen: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frontier admission masks for the closure's subsumption reduction.
+
+    Returns ``(keep_new, drop_seen)``: ``keep_new[x]`` iff ``new[x]``
+    survives — not included in any ``seen`` row nor in another kept
+    ``new`` row (earliest representative wins among equals) — and
+    ``drop_seen[y]`` iff ``seen[y]`` is strictly dominated by a kept
+    ``new`` row and should be pruned.  All rows must be canonical
+    nonempty zone matrices of one discrete state.
+    """
+    counters.inc("stack.frontier_reductions")
+    keep = np.zeros(new.shape[0], dtype=bool)
+    keep[reduce_indices(new)] = True
+    if seen is None or not seen.shape[0]:
+        return keep, np.zeros(0, dtype=bool)
+    keep &= ~inclusion_matrix(seen, new).any(axis=0)
+    if keep.any():
+        drop_seen = inclusion_matrix(new[keep], seen).any(axis=0)
+    else:
+        drop_seen = np.zeros(seen.shape[0], dtype=bool)
+    return keep, drop_seen
 
 
 def reduce_indices(stack: np.ndarray) -> List[int]:

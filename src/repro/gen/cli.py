@@ -15,6 +15,8 @@ import sys
 import time
 from typing import List, Optional
 
+from ..par import parse_jobs
+from ..util import counters
 from .differential import CHECKS, DiffConfig, run_campaign
 from .networks import DEFAULT_FAMILIES, GenConfig
 
@@ -79,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="override GenConfig.max_locations (scaling experiments)",
     )
     parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N|auto",
+        help="shard the campaign across N worker processes ('auto' ="
+        " usable CPUs).  The report is byte-identical for every value"
+        " given the same --seed/--count (statuses, family counts, failing"
+        " seeds, shrunk reproducers); only elapsed time and profiling"
+        " counters vary",
+    )
+    parser.add_argument(
         "--report-json",
         metavar="PATH",
         default=None,
@@ -90,7 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report_payload(summary, args, elapsed: float) -> dict:
+#: Keys of the report payload that legitimately vary between runs of the
+#: same campaign (wall clock; worker count; per-worker memo-cache hit
+#: rates showing up in the profiling counters).  Everything else is
+#: byte-identical for a fixed --seed/--count, whatever --jobs says — the
+#: determinism tests compare payloads with these keys stripped.
+VOLATILE_REPORT_KEYS = ("elapsed_seconds", "jobs", "counters")
+
+
+def _report_payload(summary, args, elapsed: float, jobs: int) -> dict:
     """The JSON artifact of a campaign: everything needed to reproduce."""
     return {
         "ok": summary.ok,
@@ -100,6 +120,13 @@ def _report_payload(summary, args, elapsed: float) -> dict:
         "checks": args.checks,
         "max_locations": args.max_locations,
         "elapsed_seconds": round(elapsed, 3),
+        "jobs": jobs,
+        # Op-level profiling aggregated across the pool (workers export
+        # their counter state, the parent merges) — without the merge
+        # these would silently read zero under --jobs > 1.
+        "counters": {
+            name: value for name, value in sorted(counters.snapshot().items())
+        },
         "counts": summary.counts(),
         # Per-family oracle coverage (nightly artifacts track that the
         # conformance check really runs on multi-automaton plants).
@@ -130,6 +157,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     families = _parse_list(args.families, DEFAULT_FAMILIES, "family")
     checks = _parse_list(args.checks, CHECKS, "check")
+    try:
+        jobs = parse_jobs(args.jobs)
+    except ValueError as err:
+        raise SystemExit(str(err))
     gen_config = GenConfig()
     if args.max_locations is not None:
         gen_config = gen_config.scaled(max_locations=args.max_locations)
@@ -140,6 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         check_fixpoint=not args.no_fixpoint,
     )
     started = time.monotonic()
+    counters.reset()
     done = 0
 
     def progress(report) -> None:
@@ -162,13 +194,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         shrink=not args.no_shrink,
         fail_fast=args.fail_fast,
         on_report=progress,
+        jobs=jobs,
     )
     elapsed = time.monotonic() - started
     print(summary.format(verbose=False))
-    print(f"elapsed: {elapsed:.1f}s")
+    print(f"elapsed: {elapsed:.1f}s (jobs={jobs})")
     if args.report_json:
         with open(args.report_json, "w", encoding="utf-8") as handle:
-            json.dump(_report_payload(summary, args, elapsed), handle, indent=2)
+            json.dump(
+                _report_payload(summary, args, elapsed, jobs), handle, indent=2
+            )
             handle.write("\n")
         print(f"report written to {args.report_json}")
     return 0 if summary.ok else 1

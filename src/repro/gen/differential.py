@@ -41,9 +41,24 @@ hand-written expected outputs, only internal consistency:
     edges and labels), with internalised syncs relabelled ``internal``
     and made uncontrollable.
 
+``estimate``
+    The batched (stacked-kernel) and per-zone implementations of
+    :class:`StateEstimate` must agree observation by observation: one
+    seeded monitor session drives both side by side and compares the
+    quiescence bound, the enabled input/output labels, and every
+    delay/action verdict — including rational delays that force integer
+    rescaling.
+
 Failing instances are shrunk greedily at the spec level (drop edges,
 clear guards/invariants/assignments) while re-running only the failing
 check, and reported with the reproducing seed.
+
+Campaigns shard across CPU cores (``run_campaign(jobs=N)``, CLI
+``--jobs N|auto``) through :mod:`repro.par`: instances are independent
+and seed-derived, workers return reports in instance order, failure
+seeds funnel back to the parent for *serial* shrinking, and per-worker
+op counters merge into the parent — so the campaign report is
+byte-identical for every ``jobs`` value given the same seed and count.
 """
 
 from __future__ import annotations
@@ -56,7 +71,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..dbm import Federation
 from ..game.solver import GameResult, OnTheFlySolver, TwoPhaseSolver
 from ..graph.explorer import ExplorationLimit, SimulationGraph
-from ..semantics.compose import EstimateLimit
+from ..par import starmap
+from ..semantics.compose import EstimateLimit, StateEstimate
 from ..semantics.system import PARTIAL, DelayInterval, System
 from ..tctl.query import parse_query
 from ..testing import (
@@ -516,6 +532,101 @@ def check_composition(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResu
 
 
 # ----------------------------------------------------------------------
+# Check: batched vs per-zone state estimation
+# ----------------------------------------------------------------------
+
+
+def _estimate_mismatch(step: int, what: str, batched, scalar) -> str:
+    return (
+        f"step {step}: batched/per-zone estimates disagree on {what}:"
+        f" batched={batched!r} scalar={scalar!r}"
+    )
+
+
+def _drive_estimate_pair(
+    plant_sys: System, seed: int, steps: int
+) -> Optional[str]:
+    """One seeded session over two estimates; returns a failure or None.
+
+    Drives the batched (stacked-kernel) and per-zone (reference)
+    implementations through the same observation sequence — inputs,
+    outputs, and rational delays chosen from the spec's own answers — and
+    compares every monitor-facing answer.  Denominators 2, 3, and 7 force
+    rescaling; an over-budget closure is a SKIP-worthy resource limit, so
+    it is re-raised and mapped by the caller (transient retention differs
+    between traversal orders, so limit *timing* is not compared — the
+    dedicated hypothesis tests pin down budget agreement at the fixpoint).
+    """
+    batched = StateEstimate(plant_sys, batch=True, batch_min=1)
+    scalar = StateEstimate(plant_sys, batch=False)
+    rng = random.Random(seed * 48611 + 17)
+    for step in range(steps):
+        b_quiet = batched.max_quiescence()
+        s_quiet = scalar.max_quiescence()
+        if b_quiet != s_quiet:
+            return _estimate_mismatch(step, "max_quiescence", b_quiet, s_quiet)
+        for direction in ("input", "output"):
+            b_labels = batched.enabled_labels(direction)
+            s_labels = scalar.enabled_labels(direction)
+            if b_labels != s_labels:
+                return _estimate_mismatch(
+                    step, f"enabled {direction} labels", b_labels, s_labels
+                )
+        outputs = batched.enabled_labels("output")
+        inputs = batched.enabled_labels("input")
+        roll = rng.random()
+        if outputs and roll < 0.35:
+            label = rng.choice(outputs)
+            b_ok = batched.observe(label, "output")
+            s_ok = scalar.observe(label, "output")
+            if b_ok != s_ok:
+                return _estimate_mismatch(step, f"observe {label}!", b_ok, s_ok)
+            if not b_ok:
+                return None  # both refused their own enabled label: done
+        elif inputs and roll < 0.6:
+            label = rng.choice(inputs)
+            b_ok = batched.observe(label, "input")
+            s_ok = scalar.observe(label, "input")
+            if b_ok != s_ok:
+                return _estimate_mismatch(step, f"observe {label}?", b_ok, s_ok)
+            if not b_ok:
+                return None
+        else:
+            bound, strict = b_quiet
+            delay = Fraction(rng.randint(1, 6), rng.choice((1, 2, 3, 7)))
+            if bound is not None and (delay > bound or (delay == bound and strict)):
+                delay = bound / 2 if strict or bound > 0 else Fraction(0)
+            b_ok = batched.advance(delay)
+            s_ok = scalar.advance(delay)
+            if b_ok != s_ok:
+                return _estimate_mismatch(step, f"advance {delay}", b_ok, s_ok)
+            if not b_ok:
+                return None  # both refused an in-bound delay: quiescent end
+        if batched.size == 0 or scalar.size == 0:
+            return _estimate_mismatch(step, "state-set emptiness",
+                                      batched.size, scalar.size)
+    return None
+
+
+def check_estimate(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    """Differential: stacked-kernel vs per-zone ``StateEstimate``.
+
+    Runs on every family — single-automaton plants exercise the padded
+    single-state paths, composed plants the hidden-move closure proper.
+    """
+    plant_sys = System(instance.plant)
+    try:
+        failure = _drive_estimate_pair(
+            plant_sys, instance.seed, cfg.conf_steps
+        )
+    except EstimateLimit as limit:
+        return CheckResult("estimate", SKIP, f"state-estimate budget: {limit}")
+    if failure:
+        return CheckResult("estimate", FAIL, failure)
+    return CheckResult("estimate", OK)
+
+
+# ----------------------------------------------------------------------
 # Registry, per-instance runner, shrinking
 # ----------------------------------------------------------------------
 
@@ -524,6 +635,7 @@ CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
     "semantics": check_semantics,
     "conformance": check_conformance,
     "composition": check_composition,
+    "estimate": check_estimate,
 }
 
 
@@ -618,6 +730,26 @@ def shrink_instance(
 # ----------------------------------------------------------------------
 # Campaign driver (shared by the CLI and the test suite)
 # ----------------------------------------------------------------------
+
+
+def _run_one_instance(
+    seed: int,
+    family: str,
+    gen_config: Optional[GenConfig],
+    diff_config: DiffConfig,
+    checks: Optional[Tuple[str, ...]],
+) -> InstanceReport:
+    """One generate → check task (module-level: the pool's unit of work).
+
+    Regenerates the instance from its seed instead of pickling networks
+    across the pool — generation is cheap, and reproducing from the two
+    integers is the repo-wide determinism contract anyway.  Shrinking is
+    *not* done here: failure seeds funnel back to the parent, which
+    shrinks serially so the (order-sensitive) greedy reducer sees the
+    same sequence regardless of worker scheduling.
+    """
+    instance = generate_instance(seed, family, gen_config)
+    return run_instance_checks(instance, diff_config, checks)
 
 
 @dataclass
@@ -724,29 +856,77 @@ def run_campaign(
     shrink: bool = True,
     fail_fast: bool = False,
     on_report: Optional[Callable[[InstanceReport], None]] = None,
+    jobs: int = 1,
 ) -> CampaignSummary:
     """Generate ``count`` instances and run every check on each.
 
     Instance ``i`` has seed ``seed + i`` and family ``families[i % len]``;
     zone-algebra trials run off ``seed`` as well, so the whole campaign is
     reproducible from its two integers.
+
+    ``jobs > 1`` shards the instances across a :mod:`repro.par` worker
+    pool.  The summary (statuses, per-family counts, failing seeds,
+    shrunk reproducers) is **identical to the serial run**: instances are
+    seed-independent, results are reassembled in instance order, and
+    shrinking of funneled-back failure seeds happens serially in the
+    parent.  Only ``on_report`` ordering (progress) and per-worker memo
+    cache hit rates (profiling counters) depend on scheduling.  Under
+    ``fail_fast`` the parallel path still runs the whole batch but
+    truncates the summary at the first failure, matching the serial
+    report; it trades the early exit for throughput.
     """
     diff_config = diff_config or DiffConfig()
+    check_names = tuple(checks) if checks is not None else None
     reports: List[InstanceReport] = []
-    for index in range(count):
-        family = families[index % len(families)]
-        instance = generate_instance(seed + index, family, gen_config)
-        report = run_instance_checks(instance, diff_config, checks)
-        if not report.ok and shrink:
-            failing = report.failures[0]
-            shrunk = shrink_instance(instance, failing.name, diff_config)
-            if shrunk is not instance:
-                report.shrunk = shrunk.describe()
-        reports.append(report)
-        if on_report is not None:
-            on_report(report)
-        if fail_fast and not report.ok:
-            break
+    if jobs > 1:
+        tasks = [
+            (
+                seed + index,
+                families[index % len(families)],
+                gen_config,
+                diff_config,
+                check_names,
+            )
+            for index in range(count)
+        ]
+        reports = starmap(
+            _run_one_instance, tasks, jobs=jobs, on_result=on_report
+        )
+        if fail_fast:
+            for index, report in enumerate(reports):
+                if not report.ok:
+                    reports = reports[: index + 1]
+                    break
+        # Serial shrinking of the failure seeds funneled back from the
+        # workers (greedy reduction re-runs checks; keeping it in the
+        # parent keeps it scheduling-independent and seed-reproducible).
+        if shrink:
+            for report in reports:
+                if report.ok:
+                    continue
+                instance = generate_instance(
+                    report.seed, report.family, gen_config
+                )
+                shrunk = shrink_instance(
+                    instance, report.failures[0].name, diff_config
+                )
+                if shrunk is not instance:
+                    report.shrunk = shrunk.describe()
+    else:
+        for index in range(count):
+            family = families[index % len(families)]
+            instance = generate_instance(seed + index, family, gen_config)
+            report = run_instance_checks(instance, diff_config, check_names)
+            if not report.ok and shrink:
+                failing = report.failures[0]
+                shrunk = shrink_instance(instance, failing.name, diff_config)
+                if shrunk is not instance:
+                    report.shrunk = shrunk.describe()
+            reports.append(report)
+            if on_report is not None:
+                on_report(report)
+            if fail_fast and not report.ok:
+                break
     zone_failures = check_zone_algebra(
         random.Random(seed ^ 0x5EED5), trials=zone_trials
     )

@@ -1,0 +1,141 @@
+"""The worker pool: an order-preserving, counter-merging parallel map.
+
+Determinism contract
+====================
+
+``starmap(fn, tasks, jobs)`` returns ``[fn(*t) for t in tasks]`` — the
+same values in the same order for every ``jobs`` value — provided ``fn``
+derives all its randomness from its arguments (the repo-wide seed
+discipline).  Scheduling only decides *where* a task runs, never what it
+computes, and the parent reorders results by task index before returning.
+Anything order-sensitive (shrinking, report formatting, rng reuse) stays
+in the caller, serial.
+
+Worker-side :mod:`repro.util.counters` state is captured per chunk and
+merged into the parent's counters; the merge is commutative, so the
+aggregate — unlike the scheduling — is reproducible too (per-counter
+*values* may differ across ``jobs`` settings because per-process memo
+caches are split differently; callers treat counters as profiling, not
+as part of the deterministic payload).
+
+Fork/spawn safety
+=================
+
+The pool uses the platform's default start method (fork on Linux, spawn
+on macOS/Windows).  The only callables that cross the process boundary
+are module-level functions of importable modules — :func:`_run_chunk`
+here and the caller-supplied ``fn`` — so both start methods work, and
+``python -m repro.gen.cli`` style entry points are safe because nothing
+is pickled out of ``__main__``.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..util import counters
+
+
+def auto_jobs() -> int:
+    """Worker count for ``--jobs auto``: the usable CPUs of this process."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def parse_jobs(value: str) -> int:
+    """Parse a ``--jobs`` argument: a positive integer or ``auto``."""
+    text = str(value).strip().lower()
+    if text == "auto":
+        return auto_jobs()
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise ValueError(f"invalid jobs value {value!r} (expected N or 'auto')")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_jobs(jobs: int, task_count: int) -> int:
+    """Clamp a worker count to the work available."""
+    return max(1, min(jobs, task_count))
+
+
+def _run_chunk(payload) -> Tuple[List[Tuple[int, object]], dict]:
+    """Worker entry point: run one chunk of indexed tasks.
+
+    Resets this worker's counters first so the export is exactly the
+    chunk's own op profile (chunks never share a worker's counter state;
+    the parent merges every chunk, so nothing is lost or double-counted).
+    """
+    fn, indexed = payload
+    counters.reset()
+    results = [(index, fn(*args)) for index, args in indexed]
+    return results, counters.export()
+
+
+def _chunk_payloads(fn, tasks: Sequence[tuple], jobs: int, chunk_size: int):
+    """Contiguous chunks of (index, task) pairs, small enough to balance."""
+    payloads = []
+    for start in range(0, len(tasks), chunk_size):
+        indexed = [
+            (index, tasks[index])
+            for index in range(start, min(start + chunk_size, len(tasks)))
+        ]
+        payloads.append((fn, indexed))
+    return payloads
+
+
+def starmap(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int = 1,
+    *,
+    chunk_size: Optional[int] = None,
+    on_result: Optional[Callable[[object], None]] = None,
+) -> List[object]:
+    """``[fn(*t) for t in tasks]``, sharded over ``jobs`` processes.
+
+    ``fn`` must be a module-level callable and every task tuple must be
+    picklable.  Results always come back in task order; ``on_result``
+    fires once per task *as results arrive* (completion order — use it
+    for progress, not for anything the deterministic output depends on).
+
+    With ``jobs <= 1`` (or a single task) everything runs in-process:
+    no pool, no pickling, counters accrue directly — the serial
+    reference the parallel path is differentially tested against.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs, len(tasks))
+    if jobs <= 1:
+        out = []
+        for args in tasks:
+            result = fn(*args)
+            out.append(result)
+            if on_result is not None:
+                on_result(result)
+        return out
+    if chunk_size is None:
+        # Small chunks for load balance, but at least a few tasks per
+        # dispatch so per-chunk pickling overhead stays amortized.
+        chunk_size = max(1, min(8, -(-len(tasks) // (jobs * 4))))
+    payloads = _chunk_payloads(fn, tasks, jobs, chunk_size)
+    results: List[object] = [None] * len(tasks)
+    ctx = get_context()
+    pool = ctx.Pool(processes=jobs)
+    try:
+        for chunk_results, exported in pool.imap_unordered(_run_chunk, payloads):
+            counters.merge(exported)
+            for index, result in chunk_results:
+                results[index] = result
+                if on_result is not None:
+                    on_result(result)
+        pool.close()
+        pool.join()
+    finally:
+        pool.terminate()
+    return results

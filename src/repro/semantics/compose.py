@@ -30,19 +30,47 @@ The timed closure is a reachability fixpoint (delay-close, fire hidden
 moves, repeat, with zone-inclusion subsumption) bounded by
 ``max_states``; models whose hidden behaviour exceeds the budget raise
 :class:`EstimateLimit` rather than returning an unsound answer.
+
+**Batched execution.**  Members sharing a discrete state ``(locs, vars)``
+are indistinguishable to the model — same moves, same guard/invariant
+encodings, same resets — so every per-member operation of the closure is
+uniform across such a group and runs on the *stacked* representation
+(:mod:`repro.dbm.stack`): one ``(k, dim, dim)`` array per group, one
+batched guard/reset/invariant/delay pipeline per internal move
+(:func:`repro.dbm.stack.hidden_post_step`), one broadcast
+inclusion-matrix comparison for frontier subsumption
+(:func:`repro.dbm.stack.subsume_frontier`), one vectorized rescale
+(:func:`repro.dbm.stack.scale_stack`).  Groups below
+:data:`repro.dbm.stack.BATCH_MIN` members take the per-zone path, which
+is also kept wholesale (``batch=False``, or the ``REPRO_ESTIMATE_SCALAR``
+environment variable) as the differential reference the fuzz harness
+cross-checks the kernels against.
+
+Both paths use the same *pruning* subsumption — a newly admitted zone
+evicts the retained zones it strictly dominates — so the retained set at
+the fixpoint is the antichain of maximal reachable zones, which is
+processing-order independent: scalar and batched closures agree not just
+on answers but on the final member sets, and the ``max_states`` budget is
+checked against the same post-pruning count.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..dbm import DBM
+from ..dbm import stack as _sk
 from ..dbm.bounds import INF, MAX_BOUND_CONST, decode, le
+from ..dbm.stack import BATCH_MIN
 from ..expr.env import Declarations
 from ..ta.model import ModelError
+from ..util import counters
 from .system import PARTIAL, Move, System
 
 
@@ -111,12 +139,22 @@ class StateEstimate:
         mode: str = PARTIAL,
         *,
         max_states: int = 256,
+        batch: Optional[bool] = None,
+        batch_min: Optional[int] = None,
     ):
         self.system = system
         self.mode = mode
         #: Index of the padded elapsed-time clock.
         self.tdx = system.dim
         self.max_states = max_states
+        # Batched execution: ``batch=False`` (or REPRO_ESTIMATE_SCALAR=1
+        # in the environment) forces the per-zone reference path; the
+        # batched path itself falls back to per-zone work for groups
+        # below ``batch_min`` members.
+        if batch is None:
+            batch = not os.environ.get("REPRO_ESTIMATE_SCALAR")
+        self.batch = bool(batch)
+        self.batch_min = BATCH_MIN if batch_min is None else max(1, batch_min)
         self.scale = 1
         # Largest time scale for which every scaled model constant stays
         # within the DBM kernel's sound range; beyond it rescaling raises
@@ -170,19 +208,129 @@ class StateEstimate:
                 f" model's constants (cap {self._scale_cap})"
             )
         factor = new_scale // self.scale
-        self.states = [
-            _Member(m.locs, m.vars, _scaled_zone(m.zone, factor))
-            for m in self.states
-        ]
+        # Rescaling commutes with the timed closure (every bound scales
+        # by the same factor), so the memo survives a scale change:
+        # rescale the cached members instead of recomputing the fixpoint.
+        # Both lists are rescaled before either is assigned — the closure
+        # can hold larger constants than the raw states (hidden shifts
+        # add model constants) and may overflow first; a partial update
+        # would leave zones inflated relative to the declared scale.
+        states = self._rescaled(self.states, factor)
+        closure = (
+            self._rescaled(self._closure, factor)
+            if self._closure is not None
+            else None
+        )
+        self.states = states
+        self._closure = closure
         self.scale = new_scale
-        self._closure = None
+
+    def _rescaled(self, members: List[_Member], factor: int) -> List[_Member]:
+        """Members with every zone bound multiplied by ``factor``."""
+        if self.batch and len(members) >= self.batch_min:
+            stacked = np.stack([m.zone.m for m in members])
+            if not _sk.scale_stack(stacked, factor):
+                raise EstimateLimit(
+                    "rescaled zone constant exceeds the supported DBM range"
+                    f" (±{MAX_BOUND_CONST}); the observed delays'"
+                    " denominators are too varied for this model's constants"
+                )
+            return [
+                _Member(m.locs, m.vars, DBM(stacked[i]))
+                for i, m in enumerate(members)
+            ]
+        return [
+            _Member(m.locs, m.vars, _scaled_zone(m.zone, factor))
+            for m in members
+        ]
 
     # ------------------------------------------------------------------
     # Padded-zone semantics pieces
     # ------------------------------------------------------------------
 
-    def _moves(self, member: _Member) -> List[Move]:
-        return self.system.moves_from(member.locs, member.vars, self.mode)
+    def _internal_moves(
+        self, locs: Tuple[int, ...], vars: Tuple[int, ...]
+    ) -> List[Move]:
+        return [
+            move
+            for move in self.system.moves_from(locs, vars, self.mode)
+            if move.direction == "internal"
+        ]
+
+    @staticmethod
+    def _grouped(members: Iterable[_Member]) -> Dict[tuple, List[_Member]]:
+        """Members bucketed by discrete state (the batching unit)."""
+        groups: Dict[tuple, List[_Member]] = {}
+        for member in members:
+            groups.setdefault((member.locs, member.vars), []).append(member)
+        return groups
+
+    def _post_group(
+        self,
+        locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
+        zones: List[DBM],
+        move: Move,
+        *,
+        delayed: bool,
+    ) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...], List[DBM]]]:
+        """One move's successor over every zone of a discrete-state group.
+
+        The group shares ``(locs, vars)``, so the move's variable update,
+        guard/invariant encodings, resets, and delay admissibility are
+        computed once; only the zone pipeline runs per member — through
+        the stacked kernel (:func:`repro.dbm.stack.hidden_post_step`)
+        when the group is large enough, per zone otherwise.  Returns
+        ``(new_locs, new_vars, nonempty successor zones)``, or None when
+        the move is variable-infeasible for this discrete state.
+        """
+        system = self.system
+        new_vars = system.apply_move_vars(vars, move)
+        if new_vars is None:
+            return None
+        new_locs = system.target_locs(locs, move)
+        if not system.invariant_int_ok(new_locs, new_vars):
+            return None
+        guard = self._scaled(system.guard_constraints(move, vars))
+        invariant = self._scaled(system.invariant_constraints(new_locs, new_vars))
+        resets = system.resets_of(move)
+        delay = delayed and system.can_delay(new_locs)
+        if self.batch and len(zones) >= self.batch_min:
+            counters.inc("estimate.batched_groups")
+            stacked = np.stack([z.m for z in zones])
+            keep = _sk.hidden_post_step(
+                stacked,
+                guard,
+                [clock for clock, _ in resets],
+                [(clock, value * self.scale) for clock, value in resets if value],
+                invariant,
+                delay=delay,
+            )
+            # Copy surviving rows out of the group buffer: a view would
+            # pin the whole (k, dim, dim) stack for as long as the few
+            # kept members live.
+            return (
+                new_locs,
+                new_vars,
+                [DBM(stacked[i].copy()) for i in np.flatnonzero(keep)],
+            )
+        counters.inc("estimate.scalar_groups")
+        out: List[DBM] = []
+        for zone in zones:
+            zone = zone.constrained(guard)
+            if zone.is_empty():
+                continue
+            if resets:
+                zone = zone.assign_clocks(
+                    [(clock, value * self.scale) for clock, value in resets]
+                )
+            zone = zone.constrained(invariant)
+            if zone.is_empty():
+                continue
+            if delay:
+                zone = zone.up().constrained(invariant)
+            out.append(zone)
+        return new_locs, new_vars, out
 
     def _post(self, member: _Member, move: Move) -> Optional[_Member]:
         """Discrete successor on padded zones (mirrors ``System.post``)."""
@@ -224,53 +372,162 @@ class StateEstimate:
     # Closures
     # ------------------------------------------------------------------
 
-    def _closure_fixpoint(
-        self, work: List[_Member], *, timed: bool
+    def _admit(
+        self,
+        seen: Dict[tuple, List[DBM]],
+        members: Iterable[_Member],
+        retained: List[int],
     ) -> List[_Member]:
-        """Reachability over hidden moves (with delays iff ``timed``)."""
-        seen: Dict[tuple, List[DBM]] = {}
-        out: List[_Member] = []
-        while work:
-            member = work.pop()
-            if member.zone.is_empty():
+        """Admit a frontier wave into the retained sets, with pruning.
+
+        A new zone included in a retained (or earlier-admitted) zone of
+        the same discrete state is dropped; a retained zone strictly
+        dominated by an admitted one is evicted.  Retention is therefore
+        an antichain per discrete state, and — because the zone operators
+        are inclusion-monotone, so a dominating zone's successors cover a
+        dominated zone's — the fixpoint's retained sets are independent
+        of processing order: the batched and per-zone paths agree on the
+        final member sets, not just on the monitor answers.  The
+        ``max_states`` budget is checked against the post-pruning total
+        carried in the one-cell ``retained`` count.  Returns the admitted
+        members (the next expansion wave).
+        """
+        kept: List[_Member] = []
+        for (locs, vars), group in self._grouped(members).items():
+            zones = seen.setdefault((locs, vars), [])
+            fresh = [m.zone for m in group if not m.zone.is_empty()]
+            if not fresh:
                 continue
-            key = (member.locs, member.vars)
-            zones = seen.setdefault(key, [])
-            if any(existing.includes(member.zone) for existing in zones):
-                continue
-            zones.append(member.zone)
-            out.append(member)
-            if len(out) > self.max_states:
+            if self.batch and len(fresh) >= self.batch_min:
+                new_stack = np.stack([z.m for z in fresh])
+                seen_stack = np.stack([z.m for z in zones]) if zones else None
+                keep, drop_seen = _sk.subsume_frontier(new_stack, seen_stack)
+                if zones and drop_seen.any():
+                    retained[0] -= int(drop_seen.sum())
+                    zones[:] = [
+                        z for z, dropped in zip(zones, drop_seen) if not dropped
+                    ]
+                for idx in np.flatnonzero(keep):
+                    zones.append(fresh[idx])
+                    kept.append(_Member(locs, vars, fresh[idx]))
+                retained[0] += int(keep.sum())
+            else:
+                for zone in fresh:
+                    if any(old.includes(zone) for old in zones):
+                        continue
+                    survivors = [old for old in zones if not zone.includes(old)]
+                    retained[0] -= len(zones) - len(survivors)
+                    survivors.append(zone)
+                    zones[:] = survivors
+                    retained[0] += 1
+                    kept.append(_Member(locs, vars, zone))
+            if retained[0] > self.max_states:
                 raise EstimateLimit(
                     f"hidden-move closure exceeded {self.max_states} symbolic"
                     f" states (raise max_states or simplify the partition)"
                 )
-            for move in self._moves(member):
-                if move.direction != "internal":
+        return kept
+
+    def _closure_fixpoint(
+        self, work: List[_Member], *, timed: bool
+    ) -> List[_Member]:
+        """Reachability over hidden moves (with delays iff ``timed``).
+
+        Batched mode expands wave by wave: each wave is grouped by
+        discrete state and every internal move fires over a whole group
+        through one stacked-kernel call.  Scalar mode (``batch=False``)
+        keeps the original member-at-a-time LIFO loop as the differential
+        reference.  Both share :meth:`_admit`, so retention, budget
+        accounting, and the resulting fixpoint agree.
+        """
+        counters.inc("estimate.closures")
+        seen: Dict[tuple, List[DBM]] = {}
+        retained = [0]
+        if self.batch:
+            frontier = list(work)
+            while frontier:
+                wave = self._admit(seen, frontier, retained)
+                frontier = []
+                for (locs, vars), group in self._grouped(wave).items():
+                    zones = [m.zone for m in group]
+                    for move in self._internal_moves(locs, vars):
+                        res = self._post_group(
+                            locs, vars, zones, move, delayed=timed
+                        )
+                        if res is None:
+                            continue
+                        new_locs, new_vars, new_zones = res
+                        frontier.extend(
+                            _Member(new_locs, new_vars, zone)
+                            for zone in new_zones
+                        )
+        else:
+            stack = list(work)
+            while stack:
+                member = stack.pop()
+                if not self._admit(seen, [member], retained):
                     continue
-                nxt = self._post(member, move)
-                if nxt is not None:
-                    work.append(self._delayed(nxt) if timed else nxt)
+                for move in self._internal_moves(member.locs, member.vars):
+                    nxt = self._post(member, move)
+                    if nxt is not None:
+                        stack.append(self._delayed(nxt) if timed else nxt)
+        out = [
+            _Member(locs, vars, zone)
+            for (locs, vars), zones in seen.items()
+            for zone in zones
+        ]
+        counters.observe("estimate.closure_members", len(out))
         return out
 
     def _instant_closure(self, members: List[_Member]) -> List[_Member]:
         """Closure under hidden moves at the current instant (no delay)."""
         return self._closure_fixpoint(list(members), timed=False)
 
+    def _delayed_frontier(self, members: List[_Member]) -> List[_Member]:
+        """Members with the elapsed clock reset, then delay-closed."""
+        out: List[_Member] = []
+        for (locs, vars), group in self._grouped(members).items():
+            if self.batch and len(group) >= self.batch_min:
+                stacked = np.stack([m.zone.m for m in group])
+                _sk.reset(stacked, [self.tdx])
+                if self.system.can_delay(locs):
+                    _sk.up(stacked)
+                    invariant = self._scaled(
+                        self.system.invariant_constraints(locs, vars)
+                    )
+                    if invariant:
+                        # Cannot empty a nonempty zone (the zone already
+                        # satisfied its invariant before delaying).
+                        _sk.constrain(stacked, invariant)
+                out.extend(
+                    _Member(locs, vars, DBM(stacked[i]))
+                    for i in range(stacked.shape[0])
+                )
+            else:
+                out.extend(
+                    self._delayed(
+                        _Member(m.locs, m.vars, m.zone.reset([self.tdx]))
+                    )
+                    for m in group
+                )
+        return out
+
     def _timed_closure(self) -> List[_Member]:
         """Closure under delays and hidden moves, elapsed clock reset first.
 
-        Memoized until the state set changes: the monitors ask for the
-        quiescence bound and then advance through the same closure.
+        Memoized until the state set changes — the monitors ask for the
+        quiescence bound, then advance through the same closure, and may
+        probe several delays against one state set; each of those reuses
+        the memo.  Only :meth:`advance` / :meth:`observe` /
+        :meth:`observe_move` / :meth:`reset` invalidate (they change the
+        state set); rescaling updates the memo in place instead of
+        dropping it (:meth:`_ensure_scale`).
         """
         if self._closure is None:
-            frontier = [
-                self._delayed(
-                    _Member(m.locs, m.vars, m.zone.reset([self.tdx]))
-                )
-                for m in self.states
-            ]
-            self._closure = self._closure_fixpoint(frontier, timed=True)
+            counters.inc("estimate.timed_closures")
+            self._closure = self._closure_fixpoint(
+                self._delayed_frontier(self.states), timed=True
+            )
         return self._closure
 
     # ------------------------------------------------------------------
@@ -311,11 +568,20 @@ class StateEstimate:
             pin = [(self.tdx, 0, le(ticks)), (0, self.tdx, le(-ticks))]
         except ValueError as err:  # delay horizon beyond the DBM range
             raise EstimateLimit(str(err)) from err
-        result = []
-        for member in self._timed_closure():
-            zone = member.zone.constrained(pin)
-            if not zone.is_empty():
-                result.append(_Member(member.locs, member.vars, zone))
+        result: List[_Member] = []
+        for (locs, vars), group in self._grouped(self._timed_closure()).items():
+            if self.batch and len(group) >= self.batch_min:
+                stacked = np.stack([m.zone.m for m in group])
+                keep = _sk.constrain(stacked, pin)
+                result.extend(
+                    _Member(locs, vars, DBM(stacked[i].copy()))
+                    for i in np.flatnonzero(keep)
+                )
+            else:
+                for member in group:
+                    zone = member.zone.constrained(pin)
+                    if not zone.is_empty():
+                        result.append(_Member(locs, vars, zone))
         if not result:
             return False
         self.states = result
@@ -328,19 +594,20 @@ class StateEstimate:
         """Extend the trace by an observed action; False iff disallowed."""
         decls = self.system.decls
         matched: List[_Member] = []
-        for member in self.states:
+        for (locs, vars), group in self._grouped(self.states).items():
             if updates:
-                member = _Member(
-                    member.locs,
-                    apply_var_updates(decls, member.vars, updates),
-                    member.zone,
-                )
-            for move in self._moves(member):
+                vars = apply_var_updates(decls, vars, updates)
+            zones = [m.zone for m in group]
+            for move in self.system.moves_from(locs, vars, self.mode):
                 if move.label != label or move.direction != direction:
                     continue
-                nxt = self._post(member, move)
-                if nxt is not None:
-                    matched.append(nxt)
+                res = self._post_group(locs, vars, zones, move, delayed=False)
+                if res is None:
+                    continue
+                new_locs, new_vars, new_zones = res
+                matched.extend(
+                    _Member(new_locs, new_vars, zone) for zone in new_zones
+                )
         if not matched:
             return False
         self.states = self._instant_closure(matched)
@@ -356,10 +623,16 @@ class StateEstimate:
         keep successors of every same-label variant.
         """
         matched: List[_Member] = []
-        for member in self.states:
-            nxt = self._post(member, move)
-            if nxt is not None:
-                matched.append(nxt)
+        for (locs, vars), group in self._grouped(self.states).items():
+            res = self._post_group(
+                locs, vars, [m.zone for m in group], move, delayed=False
+            )
+            if res is None:
+                continue
+            new_locs, new_vars, new_zones = res
+            matched.extend(
+                _Member(new_locs, new_vars, zone) for zone in new_zones
+            )
         if not matched:
             return False
         self.states = self._instant_closure(matched)
@@ -369,11 +642,13 @@ class StateEstimate:
     def enabled_labels(self, direction: str) -> List[str]:
         """Labels of ``direction`` moves enabled in some member right now."""
         labels: set = set()
-        for member in self.states:
-            for move in self._moves(member):
+        for (locs, vars), group in self._grouped(self.states).items():
+            zones = [m.zone for m in group]
+            for move in self.system.moves_from(locs, vars, self.mode):
                 if move.direction != direction or move.label in labels:
                     continue
-                if self._post(member, move) is not None:
+                res = self._post_group(locs, vars, zones, move, delayed=False)
+                if res is not None and res[2]:
                     labels.add(move.label)
         return sorted(labels)
 

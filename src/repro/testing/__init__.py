@@ -1,6 +1,16 @@
 """Strategy-based conformance testing: tioco monitor, executor, IMPs."""
 
-from .campaign import CampaignReport, PurposeOutcome, TestCampaign
+from .campaign import (
+    DEFAULT_POLICIES,
+    CampaignReport,
+    MutantOutcome,
+    MutationCampaign,
+    MutationReport,
+    PurposeOutcome,
+    TestCampaign,
+    make_policy,
+)
+from .mutants import Mutant, MutantSpec
 from .executor import TestExecutor, TestExecutionError, execute_test
 from .implementation import (
     EagerPolicy,

@@ -20,20 +20,36 @@ Example::
     campaign = TestCampaign(arena, plant, [TP1, TP2, TP3])
     report = campaign.run(lambda: SimulatedImplementation(imp_sys, LazyPolicy()))
     print(report.summary())
+
+:class:`MutationCampaign` is the *fault-detection* face of the same
+environment (future-work item 3): a pool of mutants described as
+picklable :class:`~repro.testing.mutants.MutantSpec` data is swept
+against the synthesized strategies under several output policies, and —
+mutants being independent — the sweep shards across CPU cores through
+:mod:`repro.par` with per-worker strategy caches, deterministic results
+for every ``jobs`` value, and merged op counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..game.cooperative import CooperativeStrategy
 from ..game.solver import GameResult, TwoPhaseSolver
 from ..game.strategy import Strategy
+from ..par import starmap
 from ..semantics.system import System
 from ..tctl.query import Query, parse_query
 from .executor import execute_test
-from .implementation import SimulatedImplementation
+from .implementation import (
+    EagerPolicy,
+    LazyPolicy,
+    QuiescentPolicy,
+    RandomPolicy,
+    SimulatedImplementation,
+)
+from .mutants import MutantSpec
 from .trace import FAIL, INCONCLUSIVE, PASS, TestRun
 
 
@@ -177,3 +193,231 @@ class TestCampaign:
                     )
             outcomes.append(outcome)
         return CampaignReport(outcomes)
+
+
+# ----------------------------------------------------------------------
+# Mutation-detection campaigns (sharded)
+# ----------------------------------------------------------------------
+
+#: Default policy sweep of a mutation-detection campaign.  Policies are
+#: named by strings (``random:SEED`` carries its seed) so a sweep is
+#: picklable and seed-stable across the worker pool.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "eager",
+    "lazy",
+    "quiescent",
+    "random:0",
+    "random:1",
+)
+
+
+def make_policy(spec: str):
+    """A fresh output policy from its string form."""
+    if spec == "eager":
+        return EagerPolicy()
+    if spec == "lazy":
+        return LazyPolicy()
+    if spec == "quiescent":
+        return QuiescentPolicy()
+    if spec.startswith("random:"):
+        return RandomPolicy(int(spec.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown policy {spec!r}; known: eager, lazy, quiescent, random:SEED"
+    )
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """One mutant's fate against the whole purpose × policy sweep."""
+
+    name: str
+    caught: bool
+    #: (purpose, policy) of the first failing execution, if any.
+    caught_by: Optional[Tuple[str, str]]
+    expected_caught: Optional[bool]
+    description: str = ""
+
+    @property
+    def surprising(self) -> bool:
+        """Whether the outcome contradicts the mutant's expectation."""
+        return (
+            self.expected_caught is not None
+            and self.caught != self.expected_caught
+        )
+
+
+@dataclass
+class MutationReport:
+    """Aggregate kill-rate report of a mutation-detection campaign."""
+
+    outcomes: List[MutantOutcome]
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.caught)
+
+    @property
+    def surprises(self) -> List[MutantOutcome]:
+        return [o for o in self.outcomes if o.surprising]
+
+    def summary(self) -> str:
+        lines = []
+        for outcome in self.outcomes:
+            verdict = "KILLED" if outcome.caught else "survived"
+            via = (
+                f"  [{outcome.caught_by[0]} / {outcome.caught_by[1]}]"
+                if outcome.caught_by
+                else ""
+            )
+            mark = "  (UNEXPECTED)" if outcome.surprising else ""
+            lines.append(f"{verdict:9s} {outcome.name}{via}{mark}")
+        lines.append(
+            f"mutation score: {self.killed}/{len(self.outcomes)}"
+            + (f", {len(self.surprises)} unexpected" if self.surprises else "")
+        )
+        return "\n".join(lines)
+
+
+# Per-process strategy cache: synthesis is the expensive, shareable part
+# of a mutation campaign, so each worker solves every purpose once and
+# reuses the strategies across all the mutants it is handed.  Keyed by
+# the campaign's picklable identity (factories are module-level
+# callables, purposes are strings).
+_CAMPAIGN_CACHE: Dict[tuple, TestCampaign] = {}
+
+
+def _cached_campaign(
+    arena_factory: Callable,
+    plant_factory: Callable,
+    purposes: Tuple[str, ...],
+    time_limit: Optional[float],
+    allow_cooperative: bool,
+) -> TestCampaign:
+    key = (arena_factory, plant_factory, purposes, time_limit, allow_cooperative)
+    campaign = _CAMPAIGN_CACHE.get(key)
+    if campaign is None:
+        campaign = TestCampaign(
+            System(arena_factory()),
+            System(plant_factory()),
+            purposes,
+            time_limit=time_limit,
+            allow_cooperative=allow_cooperative,
+        )
+        _CAMPAIGN_CACHE[key] = campaign
+    return campaign
+
+
+def _detect_one(
+    arena_factory: Callable,
+    plant_factory: Callable,
+    purposes: Tuple[str, ...],
+    time_limit: Optional[float],
+    allow_cooperative: bool,
+    spec: MutantSpec,
+    policies: Tuple[str, ...],
+    repetitions: int,
+    max_iterations: int,
+) -> MutantOutcome:
+    """One mutant's sweep (module-level: the pool's unit of work)."""
+    campaign = _cached_campaign(
+        arena_factory, plant_factory, purposes, time_limit, allow_cooperative
+    )
+    mutant = spec.build(plant_factory())
+    mutant_system = System(mutant.network)
+    for query in campaign.queries:
+        strategy = campaign.strategy_for(query)
+        if strategy is None:
+            continue
+        for policy in policies:
+            for _ in range(repetitions):
+                imp = SimulatedImplementation(mutant_system, make_policy(policy))
+                run = execute_test(
+                    strategy, campaign.plant, imp, max_iterations=max_iterations
+                )
+                if run.failed:
+                    return MutantOutcome(
+                        spec.name,
+                        True,
+                        (str(query), policy),
+                        spec.expected_caught,
+                        spec.description,
+                    )
+    return MutantOutcome(
+        spec.name, False, None, spec.expected_caught, spec.description
+    )
+
+
+class MutationCampaign:
+    """Sharded fault-detection sweeps: purposes × mutants × policies.
+
+    ``arena_factory`` / ``plant_factory`` must be *module-level* callables
+    returning prepared networks (the composed game arena and the plant
+    specification): workers import them by reference, build their own
+    systems, and cache the synthesized strategies per process — nothing
+    heavier than a :class:`~repro.testing.mutants.MutantSpec` crosses the
+    pool.  Outcomes are deterministic for every ``jobs`` value: mutants
+    are rebuilt from specs, policies are seed-named, and results come
+    back in mutant order.
+    """
+
+    def __init__(
+        self,
+        arena_factory: Callable,
+        plant_factory: Callable,
+        purposes: Sequence[Union[str, Query]],
+        *,
+        time_limit: Optional[float] = None,
+        allow_cooperative: bool = True,
+    ):
+        self.arena_factory = arena_factory
+        self.plant_factory = plant_factory
+        self.purposes: Tuple[str, ...] = tuple(str(q) for q in purposes)
+        self.time_limit = time_limit
+        self.allow_cooperative = allow_cooperative
+
+    def detect(
+        self,
+        spec: MutantSpec,
+        *,
+        policies: Sequence[str] = DEFAULT_POLICIES,
+        repetitions: int = 1,
+        max_iterations: int = 10_000,
+    ) -> MutantOutcome:
+        """One mutant's sweep, in-process."""
+        return _detect_one(
+            self.arena_factory,
+            self.plant_factory,
+            self.purposes,
+            self.time_limit,
+            self.allow_cooperative,
+            spec,
+            tuple(policies),
+            repetitions,
+            max_iterations,
+        )
+
+    def run(
+        self,
+        specs: Sequence[MutantSpec],
+        *,
+        jobs: int = 1,
+        policies: Sequence[str] = DEFAULT_POLICIES,
+        repetitions: int = 1,
+        max_iterations: int = 10_000,
+    ) -> MutationReport:
+        """Sweep every mutant, sharded over ``jobs`` worker processes."""
+        tasks = [
+            (
+                self.arena_factory,
+                self.plant_factory,
+                self.purposes,
+                self.time_limit,
+                self.allow_cooperative,
+                spec,
+                tuple(policies),
+                repetitions,
+                max_iterations,
+            )
+            for spec in specs
+        ]
+        return MutationReport(list(starmap(_detect_one, tasks, jobs=jobs)))

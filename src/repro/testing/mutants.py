@@ -18,7 +18,6 @@ Each operator returns a *new* network; the original is never touched.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
@@ -239,3 +238,69 @@ class Mutant:
     # Whether a targeted test for the associated purpose is *expected* to
     # catch it (some mutants are tioco-conforming or off-purpose).
     expected_caught: Optional[bool] = None
+
+
+# ----------------------------------------------------------------------
+# Picklable mutant descriptions (for sharded campaigns)
+# ----------------------------------------------------------------------
+
+#: Operator registry: the name half of a :class:`MutantSpec`.
+OPERATORS = {
+    "shift_guard_constant": shift_guard_constant,
+    "widen_invariant": widen_invariant,
+    "retarget_edge": retarget_edge,
+    "swap_output_channel": swap_output_channel,
+    "drop_edge": drop_edge,
+    "add_spurious_edge": add_spurious_edge,
+}
+
+
+@dataclass(frozen=True)
+class MutantSpec:
+    """A mutant as *data*: operator name plus keyword arguments.
+
+    Prepared networks are heavy and mutation is cheap, so the sharded
+    fault-detection campaign (:class:`repro.testing.campaign.
+    MutationCampaign`) ships these descriptions across the worker pool
+    and every worker rebuilds its mutants from the base network —
+    picklable by construction, reproducible independent of scheduling.
+    """
+
+    name: str
+    operator: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    description: str = ""
+    expected_caught: Optional[bool] = None
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        operator: str,
+        description: str = "",
+        expected_caught: Optional[bool] = None,
+        **params,
+    ) -> "MutantSpec":
+        """Spec with ``params`` given as keywords (sorted for stability)."""
+        if operator not in OPERATORS:
+            raise MutationError(
+                f"unknown mutation operator {operator!r};"
+                f" known: {', '.join(sorted(OPERATORS))}"
+            )
+        return cls(
+            name,
+            operator,
+            tuple(sorted(params.items())),
+            description,
+            expected_caught,
+        )
+
+    def build(self, network: Network) -> Mutant:
+        """Apply the described operator to (a clone of) ``network``."""
+        operator = OPERATORS[self.operator]
+        return Mutant(
+            self.name,
+            operator(network, **dict(self.params)),
+            self.description or self.name,
+            self.expected_caught,
+        )

@@ -76,7 +76,17 @@ class SpecMonitorBase:
     #: Enumeration mode when the network declares no interface partition.
     _fallback_mode: str = OPEN
 
-    def __init__(self, spec: System, mode: Optional[str] = None):
+    def __init__(
+        self,
+        spec: System,
+        mode: Optional[str] = None,
+        *,
+        max_states: int = 256,
+    ):
+        """``max_states`` bounds the symbolic state-set tracker (estimated
+        monitors only): richer hidden behaviour needs a larger budget, an
+        overflow raises :class:`~repro.semantics.compose.EstimateLimit`
+        (mapped to INCONCLUSIVE by the executor)."""
         self.spec = spec
         if mode is None:
             mode = (
@@ -89,7 +99,7 @@ class SpecMonitorBase:
         self._estimate: Optional[StateEstimate] = None
         self.state: Optional[ConcreteState] = None
         if mode == PARTIAL and spec.partial_hides_syncs():
-            self._estimate = StateEstimate(spec, mode)
+            self._estimate = StateEstimate(spec, mode, max_states=max_states)
         else:
             self.state = spec.initial_concrete()
             self._settle()

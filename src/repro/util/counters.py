@@ -16,11 +16,19 @@ Usage::
 
 Histogram-style metrics (``observe``) record count / total / max, so
 ``zones_per_federation`` yields an average and a worst case.
+
+Counters are process-global.  Work sharded across a worker pool
+(:mod:`repro.par`) therefore accumulates into *each worker's* globals,
+not the parent's: workers ship their raw state home with :func:`export`
+and the parent folds it in with :func:`merge`, so op-level profiles
+survive the pool instead of silently reading zero under ``--jobs > 1``.
+Both counter addition and the count/total/max stat merge are commutative
+and associative, so the aggregate is independent of worker scheduling.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 _COUNTS: Dict[str, int] = {}
 _STATS: Dict[str, list] = {}  # name -> [count, total, max]
@@ -47,6 +55,41 @@ def reset() -> None:
     """Zero every counter and stat."""
     _COUNTS.clear()
     _STATS.clear()
+
+
+def export() -> Dict[str, Dict]:
+    """The raw counter state in a mergeable, picklable form.
+
+    The inverse-ish of :func:`merge`: a worker exports at the end of its
+    shard, the parent merges every export.  Unlike :func:`snapshot` the
+    stats keep their raw ``[count, total, max]`` triples, so merging
+    loses nothing (means are recomputed from the merged totals).
+    """
+    return {
+        "counts": dict(_COUNTS),
+        "stats": {name: list(stat) for name, stat in _STATS.items()},
+    }
+
+
+def merge(exported: Dict[str, Dict]) -> None:
+    """Fold an :func:`export` from another process into this one's state."""
+    for name, n in exported.get("counts", {}).items():
+        _COUNTS[name] = _COUNTS.get(name, 0) + n
+    for name, (count, total, peak) in exported.get("stats", {}).items():
+        stat = _STATS.get(name)
+        if stat is None:
+            _STATS[name] = [count, total, peak]
+        else:
+            stat[0] += count
+            stat[1] += total
+            if peak > stat[2]:
+                stat[2] = peak
+
+
+def merge_all(exports: List[Dict[str, Dict]]) -> None:
+    """Merge a batch of exports (order-insensitive)."""
+    for exported in exports:
+        merge(exported)
 
 
 def snapshot() -> Dict[str, Union[int, Dict[str, float]]]:

@@ -1,0 +1,261 @@
+"""Differential tests: batched StateEstimate vs the per-zone reference.
+
+PR 5 ported the hidden-move closure of
+:class:`repro.semantics.compose.StateEstimate` onto the stacked DBM
+kernels (:mod:`repro.dbm.stack`), keeping the original member-at-a-time
+code as the ``batch=False`` reference.  These tests drive both
+implementations through identical observation sequences on randomly
+generated composed plants and assert they agree on every monitor-facing
+answer — quiescence bounds, enabled labels, delay/action verdicts
+(including rescaled rational delays), the final member *sets* at the
+closure fixpoint, and :class:`EstimateLimit` budget overflows — plus the
+timed-closure memo regression of the PR (recompute exactly once per
+state-set change, counted via ``repro.util.counters``).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import generate_instance
+from repro.semantics import StateEstimate, System
+from repro.semantics.compose import EstimateLimit
+from repro.ta.builder import NetworkBuilder
+from repro.util import counters
+
+COMPOSED_FAMILIES = ("chain", "ring", "clientserver", "broadcast")
+
+#: Delay denominators the sessions draw from: halves and thirds force
+#: integer rescaling, sevenths force a second lcm bump.
+DENOMINATORS = (1, 2, 3, 7)
+
+
+def estimate_pair(plant_system, **kwargs):
+    batched = StateEstimate(plant_system, batch=True, batch_min=1, **kwargs)
+    scalar = StateEstimate(plant_system, batch=False, **kwargs)
+    return batched, scalar
+
+
+def member_sets(estimate):
+    """The state set as a comparable set of (locs, vars, zone key)."""
+    return {
+        (m.locs, m.vars, m.zone.hash_key()) for m in estimate.states
+    }
+
+
+def assert_agree(batched, scalar, context):
+    assert batched.max_quiescence() == scalar.max_quiescence(), context
+    for direction in ("input", "output"):
+        assert batched.enabled_labels(direction) == scalar.enabled_labels(
+            direction
+        ), f"{context}: {direction} labels"
+    # The pruning subsumption retains the antichain of maximal reachable
+    # zones, which is traversal-order independent — so not only the
+    # answers but the member sets must coincide.
+    assert member_sets(batched) == member_sets(scalar), f"{context}: members"
+
+
+def drive_session(batched, scalar, draw_step, steps=10):
+    """Drive both estimates through one drawn observation sequence."""
+    for step in range(steps):
+        assert_agree(batched, scalar, f"step {step}")
+        outputs = batched.enabled_labels("output")
+        inputs = batched.enabled_labels("input")
+        kind, payload = draw_step(step, inputs, outputs)
+        if kind == "output":
+            ok_b = batched.observe(payload, "output")
+            ok_s = scalar.observe(payload, "output")
+        elif kind == "input":
+            ok_b = batched.observe(payload, "input")
+            ok_s = scalar.observe(payload, "input")
+        else:
+            ok_b = batched.advance(payload)
+            ok_s = scalar.advance(payload)
+        assert ok_b == ok_s, f"step {step}: {kind} {payload} verdicts differ"
+        if not ok_b:
+            break
+    assert_agree(batched, scalar, "final")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1500),
+    family=st.sampled_from(COMPOSED_FAMILIES),
+    data=st.data(),
+)
+def test_batched_estimate_agrees_on_generated_plants(seed, family, data):
+    instance = generate_instance(seed, family)
+    system = System(instance.plant)
+    batched, scalar = estimate_pair(system)
+
+    def draw_step(step, inputs, outputs):
+        choices = ["delay"]
+        if inputs:
+            choices.append("input")
+        if outputs:
+            choices.append("output")
+        kind = data.draw(st.sampled_from(choices), label=f"step{step}")
+        if kind == "input":
+            return kind, data.draw(st.sampled_from(inputs))
+        if kind == "output":
+            return kind, data.draw(st.sampled_from(outputs))
+        bound, strict = batched.max_quiescence()
+        delay = Fraction(
+            data.draw(st.integers(min_value=0, max_value=5)),
+            data.draw(st.sampled_from(DENOMINATORS)),
+        )
+        if bound is not None and (delay > bound or (delay == bound and strict)):
+            delay = bound / 2 if strict else bound
+        return "delay", delay
+
+    drive_session(batched, scalar, draw_step)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1500),
+    family=st.sampled_from(COMPOSED_FAMILIES),
+)
+def test_budget_overflow_agrees(seed, family):
+    """Both paths respect the same post-pruning ``max_states`` budget.
+
+    The retained set at the fixpoint is the antichain of maximal
+    reachable zones — identical for both traversal orders — so a budget
+    strictly below the antichain size must make *both* implementations
+    raise :class:`EstimateLimit` (transient retention may peak at
+    different moments, but the fixpoint count is what a budget below it
+    can never escape).
+    """
+    instance = generate_instance(seed, family)
+    system = System(instance.plant)
+    reference = StateEstimate(system, batch=False)
+    inputs = reference.enabled_labels("input")
+    if inputs:
+        reference.observe(inputs[0], "input")
+    reference.max_quiescence()  # force the timed closure
+    fixpoint_size = len(reference._closure)
+    if fixpoint_size < 2:
+        return  # budget < 1 is unreachable; nothing to overflow
+    budget = fixpoint_size - 1
+    for batch in (True, False):
+        estimate = StateEstimate(
+            system, batch=batch, batch_min=1, max_states=budget
+        )
+        with pytest.raises(EstimateLimit):
+            for label in inputs[:1]:
+                estimate.observe(label, "input")
+            estimate.max_quiescence()
+
+
+# ----------------------------------------------------------------------
+# Rescaling
+# ----------------------------------------------------------------------
+
+
+def hidden_chain_network():
+    """go? -> hidden sync -> fin!, with a real hidden-instant window."""
+    net = NetworkBuilder("chain2")
+    net.clock("c0", "c1")
+    net.input_channel("go")
+    net.output_channel("h", "fin")
+    net.interface("go", "fin")
+    a = net.automaton("A")
+    a.location("Idle", initial=True)
+    a.location("Busy", "c0 <= 2")
+    a.location("Done")
+    a.edge("Idle", "Busy", sync="go?", assign="c0 := 0")
+    a.edge("Busy", "Done", sync="h!")
+    b = net.automaton("B")
+    b.location("Wait", initial=True)
+    b.location("Hold", "c1 <= 3")
+    b.location("End")
+    b.edge("Wait", "Hold", sync="h?", assign="c1 := 0")
+    b.edge("Hold", "End", sync="fin!", guard="c1 >= 1")
+    return net.build()
+
+
+class TestRescaledDelays:
+    def test_rational_delays_agree_through_rescaling(self):
+        system = System(hidden_chain_network())
+        batched, scalar = estimate_pair(system)
+        for estimate in (batched, scalar):
+            assert estimate.observe("go", "input")
+        for delay in (Fraction(1, 3), Fraction(1, 7), Fraction(5, 6)):
+            ok_b = batched.advance(delay)
+            ok_s = scalar.advance(delay)
+            assert ok_b == ok_s
+        assert batched.scale == scalar.scale
+        assert batched.scale % 42 == 0
+        assert_agree(batched, scalar, "after rescaled delays")
+
+    def test_scale_cap_overflow_agrees(self):
+        """Wildly varied denominators overflow both paths identically."""
+        primes = (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+        outcomes = []
+        for batch in (True, False):
+            estimate = StateEstimate(
+                System(hidden_chain_network()), batch=batch, batch_min=1
+            )
+            estimate.observe("go", "input")
+            try:
+                for p in primes:
+                    estimate.advance(Fraction(1, p))
+                outcomes.append(None)
+            except EstimateLimit:
+                outcomes.append("limit")
+        assert outcomes == ["limit", "limit"]
+
+
+# ----------------------------------------------------------------------
+# Timed-closure memoization (the PR's invalidation fix)
+# ----------------------------------------------------------------------
+
+
+class TestClosureMemo:
+    @pytest.fixture(params=[True, False], ids=["batched", "scalar"])
+    def estimate(self, request):
+        estimate = StateEstimate(
+            System(hidden_chain_network()), batch=request.param, batch_min=1
+        )
+        estimate.observe("go", "input")
+        return estimate
+
+    def closures(self):
+        return counters.export()["counts"].get("estimate.timed_closures", 0)
+
+    def test_observing_twice_does_no_extra_closure_work(self, estimate):
+        counters.reset()
+        first = estimate.max_quiescence()
+        assert self.closures() == 1
+        assert estimate.max_quiescence() == first
+        assert estimate.enabled_labels("output") is not None
+        assert self.closures() == 1, "second observation recomputed the closure"
+
+    def test_rescaling_keeps_the_memo(self, estimate):
+        counters.reset()
+        estimate.max_quiescence()
+        assert self.closures() == 1
+        # advance() with a new denominator rescales states *and* the
+        # memoized closure in place instead of recomputing the fixpoint.
+        assert estimate.advance(Fraction(1, 3))
+        assert self.closures() == 1
+        # The state set changed, so the *next* query recomputes — once.
+        estimate.max_quiescence()
+        estimate.max_quiescence()
+        assert self.closures() == 2
+
+    def test_each_state_change_recomputes_exactly_once(self, estimate):
+        counters.reset()
+        estimate.max_quiescence()
+        assert estimate.advance(Fraction(1))
+        estimate.max_quiescence()
+        outputs = estimate.enabled_labels("output")
+        assert outputs == ["fin"]
+        assert estimate.observe("fin", "output")
+        estimate.max_quiescence()
+        estimate.max_quiescence()
+        # Three state sets were queried: initial, after the delay, after
+        # the output — three closures, no more.
+        assert self.closures() == 3
