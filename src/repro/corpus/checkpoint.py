@@ -1,0 +1,194 @@
+"""Crash-safe campaign checkpointing: an append-only JSONL journal.
+
+One file, ``checkpoint.jsonl`` inside the corpus directory.  The first
+line is a header carrying the campaign *fingerprint* — everything the
+task list derives from (count, seed, families, checks, config knobs)
+plus the planned mutation tasks themselves.  Every line after it is one
+finished task: ``{"index": i, "report": {...}}``, appended and flushed
+as results land, in completion order.
+
+Two properties matter:
+
+* **The plan is frozen in the header.**  A resumed run rebuilds its
+  task list from the recorded mutation plan, not by re-planning against
+  the corpus — so the corpus may grow between interrupt and resume
+  without changing what the interrupted campaign means, and the resumed
+  report is byte-identical to an uninterrupted run at the snapshot the
+  plan was made from.
+* **Torn tails are survivable.**  A process killed mid-append leaves at
+  most one truncated last line; loading tolerates (and drops) exactly
+  that, then the task re-runs.  Anything else malformed — or a header
+  that does not match the resuming campaign's arguments — raises
+  :class:`CheckpointMismatch` rather than silently mixing campaigns.
+
+The journal is transient: :meth:`finalize` removes it once the campaign
+completes (that is also the moment results graduate into the corpus).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from ..gen.differential import InstanceReport
+from .schedule import MutationTask, tasks_from_lists
+
+_KIND_HEADER = "header"
+_KIND_REPORT = "report"
+
+
+class CheckpointMismatch(RuntimeError):
+    """The journal on disk belongs to a different campaign."""
+
+
+def campaign_fingerprint(
+    count: int,
+    seed: int,
+    families: Sequence[str],
+    checks: Optional[Sequence[str]],
+    gen_config: Optional[dict],
+    diff_config: Optional[dict],
+    mutations: Sequence[MutationTask],
+) -> Dict[str, object]:
+    """The JSON-safe identity of a campaign, mutation plan included."""
+    return {
+        "count": count,
+        "seed": seed,
+        "families": list(families),
+        "checks": list(checks) if checks is not None else None,
+        "gen_config": gen_config,
+        "diff_config": diff_config,
+        "mutations": [task.to_list() for task in mutations],
+    }
+
+
+def fingerprint_core(fingerprint: Dict[str, object]) -> Dict[str, object]:
+    """The argument-derived part (everything except the mutation plan)."""
+    return {k: v for k, v in fingerprint.items() if k != "mutations"}
+
+
+class CampaignCheckpoint:
+    """The journal handle :func:`repro.gen.run_campaign` records into."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.fingerprint: Optional[Dict[str, object]] = None
+        self._completed: Dict[int, InstanceReport] = {}
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def start(self, fingerprint: Dict[str, object]) -> None:
+        """Begin a fresh journal (truncating any stale one)."""
+        self.fingerprint = fingerprint
+        self._completed = {}
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append({"kind": _KIND_HEADER, "fingerprint": fingerprint})
+
+    def load(
+        self, expected_core: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Read an existing journal; returns the recorded fingerprint.
+
+        ``expected_core`` (from the resuming run's arguments) must match
+        the header's argument-derived part, or the journal belongs to a
+        different campaign and resuming would corrupt both.
+        """
+        fingerprint: Optional[Dict[str, object]] = None
+        completed: Dict[int, InstanceReport] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for pos, line in enumerate(lines):
+            try:
+                row = json.loads(line)
+            except ValueError:
+                if pos == len(lines) - 1:
+                    break  # torn tail from a mid-append kill: drop it
+                raise CheckpointMismatch(
+                    f"{self.path}: malformed journal line {pos + 1}"
+                )
+            if pos == 0:
+                if row.get("kind") != _KIND_HEADER:
+                    raise CheckpointMismatch(
+                        f"{self.path}: first line is not a campaign header"
+                    )
+                fingerprint = row["fingerprint"]
+                continue
+            if row.get("kind") != _KIND_REPORT:
+                raise CheckpointMismatch(
+                    f"{self.path}: unexpected journal line {pos + 1}"
+                )
+            completed[int(row["index"])] = InstanceReport.from_dict(
+                row["report"]
+            )
+        if fingerprint is None:
+            raise CheckpointMismatch(f"{self.path}: empty journal")
+        if expected_core is not None:
+            core = fingerprint_core(fingerprint)
+            if core != expected_core:
+                mismatched = sorted(
+                    key
+                    for key in set(core) | set(expected_core)
+                    if core.get(key) != expected_core.get(key)
+                )
+                raise CheckpointMismatch(
+                    f"{self.path}: journal belongs to a different campaign"
+                    f" (differs in: {', '.join(mismatched)})"
+                )
+        self.fingerprint = fingerprint
+        self._completed = completed
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return fingerprint
+
+    def finalize(self) -> None:
+        """The campaign completed: close and remove the journal."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # The run_campaign protocol
+    # ------------------------------------------------------------------
+
+    def record(self, index: int, report: InstanceReport) -> None:
+        """Journal one finished task (flushed: survives a kill)."""
+        self._completed[index] = report
+        self._append(
+            {"kind": _KIND_REPORT, "index": index, "report": report.to_dict()}
+        )
+
+    def completed(self) -> Dict[int, InstanceReport]:
+        return dict(self._completed)
+
+    def mutations(self) -> List[MutationTask]:
+        """The mutation plan frozen in the header."""
+        if self.fingerprint is None:
+            return []
+        return tasks_from_lists(self.fingerprint.get("mutations", []))
+
+    # ------------------------------------------------------------------
+
+    def _append(self, row: Dict[str, object]) -> None:
+        if self._handle is None:  # pragma: no cover - misuse guard
+            raise RuntimeError("checkpoint not started or loaded")
+        self._handle.write(
+            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())

@@ -1,0 +1,97 @@
+"""The mutation scheduler: which corpus entries earn fuzzing budget.
+
+Coverage-guided prioritization in its simplest honest form: an entry is
+*interesting* in proportion to how rare its coverage signature is in the
+corpus — an instance whose oracle outcomes and op profile look like
+nothing else is the one most likely to sit near untested behaviour, so
+its neighbourhood (one NetSpec mutation operator away) gets explored
+first.  Entries that already failed are excluded: a known disagreement
+needs a fix, not more mutants of itself.
+
+Everything is deterministic.  Ranking breaks ties by ``(signature
+rarity, family, seed, mutation_seed)``; mutation seeds derive from a
+sha256 of the entry's identity and the round number — never from Python
+``hash()`` (salted per process) or any RNG state — so the same corpus
+snapshot and budget always yield the same task list, which is what lets
+a checkpoint fingerprint the plan and a resumed campaign replay it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, NamedTuple, Optional, Sequence
+
+from .store import Corpus, CorpusEntry
+
+FAIL = "fail"
+
+
+class MutationTask(NamedTuple):
+    """One scheduled mutation, reproducible from its three integers."""
+
+    seed: int
+    family: Optional[str]
+    mutation_seed: int
+
+    def to_list(self) -> List[object]:
+        return [self.seed, self.family, self.mutation_seed]
+
+
+def derive_mutation_seed(entry: CorpusEntry, round_index: int) -> int:
+    """A stable 48-bit mutation seed for round ``k`` on an entry."""
+    blob = (
+        f"{entry.structural_hash}:{entry.seed}:{entry.family}:"
+        f"{entry.mutation_seed}:{round_index}"
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:6], "big")
+
+
+def plan_mutations(
+    corpus: Corpus, budget: int, rounds: int = 2
+) -> List[MutationTask]:
+    """Schedule up to ``budget`` mutation tasks from a corpus snapshot.
+
+    Entries are ranked rarest-signature-first and visited round-robin:
+    every ranked entry gets its round-0 mutant before any gets its
+    round-1 mutant (up to ``rounds`` per entry), so a large corpus still
+    spreads a small budget across many shapes instead of hammering one.
+    Failed entries are skipped entirely.
+    """
+    if budget <= 0:
+        return []
+    counts = corpus.signature_counts()
+    candidates = [
+        entry
+        for entry in corpus
+        if FAIL not in entry.statuses.values()
+    ]
+    candidates.sort(
+        key=lambda e: (
+            counts[e.signature],
+            e.family,
+            e.seed,
+            e.mutation_seed if e.mutation_seed is not None else -1,
+        )
+    )
+    tasks: List[MutationTask] = []
+    for round_index in range(max(1, rounds)):
+        for entry in candidates:
+            if len(tasks) >= budget:
+                return tasks
+            tasks.append(
+                MutationTask(
+                    seed=entry.seed,
+                    family=entry.family,
+                    mutation_seed=derive_mutation_seed(entry, round_index),
+                )
+            )
+    return tasks
+
+
+def tasks_from_lists(rows: Sequence[Sequence[object]]) -> List[MutationTask]:
+    """Rebuild tasks from their JSON (checkpoint header) form."""
+    return [
+        MutationTask(int(seed), family, int(mutation_seed))
+        for seed, family, mutation_seed in rows
+    ]

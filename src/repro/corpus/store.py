@@ -1,0 +1,200 @@
+"""The on-disk seed corpus: one JSON file per structural hash.
+
+Layout (everything human-diffable, nothing binary)::
+
+    DIR/
+      entries/
+        <structural_hash>.json    # one CorpusEntry
+      checkpoint.jsonl            # in-flight campaign journal (transient)
+
+An entry records how to *regenerate* an instance — the seed/family pair
+(plus the mutation seed for corpus-scheduled mutants) — never the
+network itself: regeneration from integers is the repo-wide determinism
+contract, and it keeps entries a few hundred bytes.  Alongside the
+reproducer the entry keeps the instance's **coverage signature**: a
+digest of the oracle outcomes and the log2-bucketed op-counter profile
+(solver iterations, closure counts, estimate sizes — whatever
+:mod:`repro.util.counters` saw).  The scheduler ranks entries by how
+rare their signature is in the corpus and mutates the rare ones first.
+
+Entries are keyed by :meth:`Network.structural_hash`, so structurally
+identical instances (different seeds converging on the same network)
+collapse into one entry and re-running a campaign over a populated
+corpus only adds genuinely new shapes.  Files carry no timestamps and
+iteration is sorted, so a corpus directory is byte-stable under
+re-insertion of the same entries — CI can diff artifacts run to run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Coverage counters are log2-bucketed before hashing: ``867`` and
+#: ``901`` closures are the same behaviour, ``8`` and ``8000`` are not.
+#: Buckets absorb run-to-run jitter (memo caches, scheduling) that raw
+#: counts would turn into spurious "new coverage".
+
+
+def _bucket(value: int) -> int:
+    if value <= 0:
+        return 0
+    return value.bit_length()
+
+
+def coverage_signature(
+    family: str,
+    statuses: Dict[str, str],
+    coverage: Optional[Dict[str, int]],
+) -> str:
+    """Digest of what an instance *did*: outcomes + bucketed op profile."""
+    payload = {
+        "family": family,
+        "statuses": dict(sorted(statuses.items())),
+        "profile": {
+            name: _bucket(delta)
+            for name, delta in sorted((coverage or {}).items())
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CorpusEntry:
+    """One interesting instance, reproducible from its integers."""
+
+    structural_hash: str
+    seed: int
+    family: str
+    signature: str  # coverage_signature(...)
+    mutation_seed: Optional[int] = None
+    statuses: Dict[str, str] = field(default_factory=dict)
+    #: Raw (unbucketed) counter deltas, kept for human inspection and
+    #: coverage dashboards; the signature alone drives scheduling.
+    coverage: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusEntry":
+        return cls(
+            structural_hash=payload["structural_hash"],
+            seed=payload["seed"],
+            family=payload["family"],
+            signature=payload["signature"],
+            mutation_seed=payload.get("mutation_seed"),
+            statuses=dict(payload.get("statuses", {})),
+            coverage=dict(payload.get("coverage", {})),
+        )
+
+    def reproducer(self) -> str:
+        if self.mutation_seed is None:
+            return f"generate_instance({self.seed}, {self.family!r})"
+        return (
+            f"mutate_instance({self.seed}, {self.family!r},"
+            f" {self.mutation_seed})"
+        )
+
+
+class Corpus:
+    """A directory of :class:`CorpusEntry` files keyed by structural hash."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.entries_dir = os.path.join(root, "entries")
+        os.makedirs(self.entries_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Single entries
+    # ------------------------------------------------------------------
+
+    def _path(self, structural_hash: str) -> str:
+        return os.path.join(self.entries_dir, f"{structural_hash}.json")
+
+    def get(self, structural_hash: str) -> Optional[CorpusEntry]:
+        path = self._path(structural_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return CorpusEntry.from_dict(json.load(handle))
+        except FileNotFoundError:
+            return None
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Insert an entry; first writer per structural hash wins.
+
+        Returns True when the entry was new.  Keeping the first recorded
+        reproducer (rather than overwriting with the latest) makes the
+        corpus stable under re-runs: the same campaign over the same
+        corpus is a no-op.
+        """
+        path = self._path(entry.structural_hash)
+        if os.path.exists(path):
+            return False
+        blob = json.dumps(
+            entry.to_dict(), sort_keys=True, indent=1, ensure_ascii=False
+        )
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob + "\n")
+        os.replace(tmp, path)
+        return True
+
+    def add_report(self, report) -> bool:
+        """Insert a campaign :class:`InstanceReport` as a corpus entry."""
+        statuses = {r.name: r.status for r in report.results}
+        entry = CorpusEntry(
+            structural_hash=report.structural_hash,
+            seed=report.seed,
+            family=report.family,
+            signature=coverage_signature(
+                report.family, statuses, report.coverage
+            ),
+            mutation_seed=report.mutation_seed,
+            statuses=statuses,
+            coverage=dict(report.coverage or {}),
+        )
+        return self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Whole-corpus views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for name in os.listdir(self.entries_dir)
+            if name.endswith(".json")
+        )
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        """Entries in sorted filename order (deterministic)."""
+        for name in sorted(os.listdir(self.entries_dir)):
+            if not name.endswith(".json"):
+                continue
+            with open(
+                os.path.join(self.entries_dir, name), "r", encoding="utf-8"
+            ) as handle:
+                yield CorpusEntry.from_dict(json.load(handle))
+
+    def entries(self) -> List[CorpusEntry]:
+        return list(self)
+
+    def signature_counts(self) -> Dict[str, int]:
+        """signature -> number of entries carrying it (rarity basis)."""
+        counts: Dict[str, int] = {}
+        for entry in self:
+            counts[entry.signature] = counts.get(entry.signature, 0) + 1
+        return counts
+
+    def stats(self) -> Dict[str, int]:
+        entries = self.entries()
+        return {
+            "entries": len(entries),
+            "signatures": len({e.signature for e in entries}),
+            "families": len({e.family for e in entries}),
+        }

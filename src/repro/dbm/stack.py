@@ -271,6 +271,40 @@ def hidden_post_step(
     return keep
 
 
+def any_hidden_post(
+    stack: np.ndarray,
+    guard: Sequence[Constraint],
+    reset_clocks: Sequence[int],
+    shifts: Sequence[Tuple[int, int]],
+    invariant: Sequence[Constraint],
+) -> bool:
+    """Does *any* row of the stack have a nonempty successor on the move?
+
+    The existence-only sibling of :func:`hidden_post_step`, for
+    enabledness probes (``enabled_labels`` needs one surviving zone, not
+    the zones themselves).  Two facts let it stop early: resets and
+    shifts map points to points, so they can never empty a nonempty zone
+    — if no target invariant constrains the landing state, surviving the
+    guard already proves the post nonempty; and emptiness is invariant
+    under the delay closure, so the ``delay`` step of the full kernel is
+    never needed here.  Mutates the stack (callers pass a scratch copy)
+    and skips the copy-out and re-wrap of the full pipeline entirely.
+    """
+    counters.inc("stack.any_posts")
+    counters.inc("stack.any_post_zones", stack.shape[0])
+    keep = constrain(stack, guard) if guard else np.ones(stack.shape[0], bool)
+    if not keep.any():
+        return False
+    if not invariant:
+        return True
+    if reset_clocks:
+        reset(stack, reset_clocks)
+    if shifts:
+        shift(stack, shifts)
+    keep &= constrain(stack, invariant)
+    return bool(keep.any())
+
+
 def subsume_frontier(
     new: np.ndarray, seen: Optional[np.ndarray]
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -33,6 +33,7 @@ from .networks import (
     NetSpec,
     generate_batch,
     generate_instance,
+    mutate_instance,
 )
 from .zones import (
     check_zone_algebra,
@@ -59,6 +60,7 @@ __all__ = [
     "NetSpec",
     "generate_batch",
     "generate_instance",
+    "mutate_instance",
     "check_zone_algebra",
     "random_federation",
     "random_point",

@@ -71,7 +71,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..dbm import Federation
 from ..game.solver import GameResult, OnTheFlySolver, TwoPhaseSolver
 from ..graph.explorer import ExplorationLimit, SimulationGraph
-from ..par import starmap
+from ..par import steal_map
 from ..semantics.compose import EstimateLimit, StateEstimate
 from ..semantics.system import PARTIAL, DelayInterval, System
 from ..tctl.query import parse_query
@@ -85,12 +85,14 @@ from ..testing import (
     SpecNondeterminism,
     TiocoMonitor,
 )
+from ..util import counters
 from .networks import (
     DEFAULT_FAMILIES,
     GenConfig,
     GeneratedInstance,
     NetSpec,
     generate_instance,
+    mutate_instance,
 )
 from .zones import check_zone_algebra
 
@@ -110,6 +112,11 @@ class DiffConfig:
     #: Exploration budget of the closed-product walk in the composition
     #: check (compared state-by-state against partial enumeration).
     composition_nodes: int = 2000
+    #: Symbolic state-set budget of the monitors and estimates
+    #: (:class:`SpecMonitorBase` / :class:`StateEstimate` ``max_states``).
+    #: Deep-fuzz raises it (CLI ``--max-estimate-states``) to turn
+    #: budget SKIPs on hidden-move-rich instances into real runs.
+    max_estimate_states: int = 256
 
 
 @dataclass(frozen=True)
@@ -127,6 +134,15 @@ class InstanceReport:
     description: str
     results: List[CheckResult] = field(default_factory=list)
     shrunk: Optional[str] = None  # description of the shrunk reproducer
+    #: Set when the instance is a corpus-scheduled mutation: the third
+    #: integer of the ``mutate_instance(seed, family, mutation_seed)``
+    #: reproducer.  ``None`` for plain generated instances.
+    mutation_seed: Optional[int] = None
+    #: Per-instance op-counter deltas (:func:`repro.util.counters.diff`)
+    #: captured around the checks — the corpus coverage signal.  Volatile
+    #: (process-global memo caches make deltas scheduling-dependent), so
+    #: it never enters the deterministic report payload.
+    coverage: Optional[Dict[str, int]] = None
 
     @property
     def failures(self) -> List[CheckResult]:
@@ -135,6 +151,47 @@ class InstanceReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def reproducer(self) -> str:
+        """The one-liner that rebuilds this instance."""
+        if self.mutation_seed is None:
+            return f"generate_instance({self.seed}, {self.family!r})"
+        return (
+            f"mutate_instance({self.seed}, {self.family!r},"
+            f" {self.mutation_seed})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (checkpoint journal lines, corpus entries)."""
+        return {
+            "seed": self.seed,
+            "family": self.family,
+            "mutation_seed": self.mutation_seed,
+            "structural_hash": self.structural_hash,
+            "description": self.description,
+            "results": [
+                {"name": r.name, "status": r.status, "detail": r.detail}
+                for r in self.results
+            ],
+            "shrunk": self.shrunk,
+            "coverage": self.coverage,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "InstanceReport":
+        return cls(
+            seed=payload["seed"],
+            family=payload["family"],
+            structural_hash=payload["structural_hash"],
+            description=payload["description"],
+            results=[
+                CheckResult(r["name"], r["status"], r.get("detail", ""))
+                for r in payload.get("results", ())
+            ],
+            shrunk=payload.get("shrunk"),
+            mutation_seed=payload.get("mutation_seed"),
+            coverage=payload.get("coverage"),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -345,6 +402,7 @@ def _drive_self_conformance(
     policy,
     rng: random.Random,
     steps: int,
+    max_states: int = 256,
 ) -> Optional[str]:
     """Run one self-conformance session; returns a failure detail or None.
 
@@ -352,10 +410,11 @@ def _drive_self_conformance(
     both monitors enumerate the plant's partial semantics (the networks
     declare their interface partition), and the monitors auto-select
     symbolic state-set tracking when hidden syncs make ``After σ`` a set.
+    ``max_states`` bounds both trackers (``DiffConfig.max_estimate_states``).
     """
     imp = SimulatedImplementation(plant_sys, policy)
-    monitor = TiocoMonitor(plant_sys)
-    relativized = RelativizedMonitor(arena_sys)
+    monitor = TiocoMonitor(plant_sys, max_states=max_states)
+    relativized = RelativizedMonitor(arena_sys, max_states=max_states)
 
     def observe_output(label: str) -> Optional[str]:
         if not monitor.observe(label, "output"):
@@ -450,7 +509,8 @@ def check_conformance(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResu
         rng = random.Random(instance.seed * 7919 + index)
         try:
             failure = _drive_self_conformance(
-                plant_sys, arena_sys, policy, rng, cfg.conf_steps
+                plant_sys, arena_sys, policy, rng, cfg.conf_steps,
+                max_states=cfg.max_estimate_states,
             )
         except SpecNondeterminism as nondet:
             return CheckResult(
@@ -544,7 +604,7 @@ def _estimate_mismatch(step: int, what: str, batched, scalar) -> str:
 
 
 def _drive_estimate_pair(
-    plant_sys: System, seed: int, steps: int
+    plant_sys: System, seed: int, steps: int, max_states: int = 256
 ) -> Optional[str]:
     """One seeded session over two estimates; returns a failure or None.
 
@@ -557,8 +617,10 @@ def _drive_estimate_pair(
     between traversal orders, so limit *timing* is not compared — the
     dedicated hypothesis tests pin down budget agreement at the fixpoint).
     """
-    batched = StateEstimate(plant_sys, batch=True, batch_min=1)
-    scalar = StateEstimate(plant_sys, batch=False)
+    batched = StateEstimate(
+        plant_sys, batch=True, batch_min=1, max_states=max_states
+    )
+    scalar = StateEstimate(plant_sys, batch=False, max_states=max_states)
     rng = random.Random(seed * 48611 + 17)
     for step in range(steps):
         b_quiet = batched.max_quiescence()
@@ -617,7 +679,8 @@ def check_estimate(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
     plant_sys = System(instance.plant)
     try:
         failure = _drive_estimate_pair(
-            plant_sys, instance.seed, cfg.conf_steps
+            plant_sys, instance.seed, cfg.conf_steps,
+            max_states=cfg.max_estimate_states,
         )
     except EstimateLimit as limit:
         return CheckResult("estimate", SKIP, f"state-estimate budget: {limit}")
@@ -732,24 +795,39 @@ def shrink_instance(
 # ----------------------------------------------------------------------
 
 
-def _run_one_instance(
+def _run_one_task(
     seed: int,
-    family: str,
+    family: Optional[str],
+    mutation_seed: Optional[int],
     gen_config: Optional[GenConfig],
     diff_config: DiffConfig,
     checks: Optional[Tuple[str, ...]],
 ) -> InstanceReport:
     """One generate → check task (module-level: the pool's unit of work).
 
-    Regenerates the instance from its seed instead of pickling networks
-    across the pool — generation is cheap, and reproducing from the two
-    integers is the repo-wide determinism contract anyway.  Shrinking is
-    *not* done here: failure seeds funnel back to the parent, which
-    shrinks serially so the (order-sensitive) greedy reducer sees the
-    same sequence regardless of worker scheduling.
+    Regenerates the instance from its seed(s) instead of pickling
+    networks across the pool — generation is cheap, and reproducing from
+    the two (or, for corpus-scheduled mutations, three) integers is the
+    repo-wide determinism contract anyway.  Shrinking is *not* done
+    here: failure seeds funnel back to the parent, which shrinks
+    serially so the (order-sensitive) greedy reducer sees the same
+    sequence regardless of worker scheduling.
+
+    Op counters are snapshotted around the checks so the report carries
+    its own coverage deltas — under :func:`repro.par.steal_map` the
+    worker's counters were just reset, so the delta is exactly this
+    task's profile; in-process the snapshot isolates it from whatever
+    accrued before.
     """
-    instance = generate_instance(seed, family, gen_config)
-    return run_instance_checks(instance, diff_config, checks)
+    before = counters.export()
+    if mutation_seed is None:
+        instance = generate_instance(seed, family, gen_config)
+    else:
+        instance = mutate_instance(seed, family, mutation_seed, gen_config)
+    report = run_instance_checks(instance, diff_config, checks)
+    report.mutation_seed = mutation_seed
+    report.coverage = counters.diff(before, counters.export())
+    return report
 
 
 @dataclass
@@ -757,6 +835,13 @@ class CampaignSummary:
     reports: List[InstanceReport]
     zone_failures: List[str]
     zone_trials: int
+    #: True when the campaign stopped with tasks still pending (an
+    #: interrupt or ``stop_after``); the checkpoint holds the finished
+    #: prefix and ``--resume`` completes it.  Partial summaries skip the
+    #: zone trials and shrinking — both run once, at completion.
+    partial: bool = False
+    #: Number of unfinished tasks behind :attr:`partial`.
+    pending: int = 0
 
     @property
     def failed_reports(self) -> List[InstanceReport]:
@@ -830,19 +915,43 @@ class CampaignSummary:
             lines.append(f"  structural hash: {report.structural_hash}")
             for result in report.failures:
                 lines.append(f"  {result.name}: {result.detail}")
-            lines.append(
-                f"  reproduce: generate_instance({report.seed},"
-                f" {report.family!r})"
-            )
+            lines.append(f"  reproduce: {report.reproducer()}")
             if report.shrunk:
                 lines.append(f"  shrunk reproducer: {report.shrunk}")
         for detail in self.zone_failures[:10]:
             lines.append(f"ZONE DISAGREEMENT {detail}")
+        if self.partial:
+            lines.append(
+                f"PARTIAL: {self.pending} tasks pending"
+                f" (checkpointed; continue with --resume)"
+            )
         lines.append(
             "verdict: "
             + ("no disagreements found" if self.ok else "DISAGREEMENTS FOUND")
         )
         return "\n".join(lines)
+
+
+def campaign_tasks(
+    count: int,
+    seed: int = 0,
+    families: Sequence[str] = DEFAULT_FAMILIES,
+    mutations: Sequence[Tuple[int, Optional[str], int]] = (),
+) -> List[Tuple[int, Optional[str], Optional[int]]]:
+    """The full ordered task list of a campaign.
+
+    Base task ``i`` is ``(seed + i, families[i % len], None)``; corpus-
+    scheduled mutation tasks ``(seed, family, mutation_seed)`` follow.
+    The list is what a checkpoint fingerprints: a task's position is its
+    identity across interrupted and resumed runs.
+    """
+    tasks: List[Tuple[int, Optional[str], Optional[int]]] = [
+        (seed + index, families[index % len(families)], None)
+        for index in range(count)
+    ]
+    for mut_seed, mut_family, mutation_seed in mutations:
+        tasks.append((mut_seed, mut_family, mutation_seed))
+    return tasks
 
 
 def run_campaign(
@@ -857,76 +966,123 @@ def run_campaign(
     fail_fast: bool = False,
     on_report: Optional[Callable[[InstanceReport], None]] = None,
     jobs: int = 1,
+    mutations: Sequence[Tuple[int, Optional[str], int]] = (),
+    checkpoint=None,
+    stop_after: Optional[int] = None,
 ) -> CampaignSummary:
     """Generate ``count`` instances and run every check on each.
 
     Instance ``i`` has seed ``seed + i`` and family ``families[i % len]``;
     zone-algebra trials run off ``seed`` as well, so the whole campaign is
-    reproducible from its two integers.
+    reproducible from its two integers.  ``mutations`` appends corpus-
+    scheduled ``(seed, family, mutation_seed)`` tasks after the base
+    instances (each reproducible from its three integers).
 
-    ``jobs > 1`` shards the instances across a :mod:`repro.par` worker
-    pool.  The summary (statuses, per-family counts, failing seeds,
-    shrunk reproducers) is **identical to the serial run**: instances are
-    seed-independent, results are reassembled in instance order, and
-    shrinking of funneled-back failure seeds happens serially in the
-    parent.  Only ``on_report`` ordering (progress) and per-worker memo
-    cache hit rates (profiling counters) depend on scheduling.  Under
+    ``jobs > 1`` steals tasks across a :mod:`repro.par` worker pool
+    (:func:`~repro.par.steal_map`: single-task dispatch, so one
+    solver-heavy seed never straggles a chunk).  The summary (statuses,
+    per-family counts, failing seeds, shrunk reproducers) is **identical
+    to the serial run**: tasks are seed-independent, results are
+    reassembled in task order, and shrinking of funneled-back failure
+    seeds happens serially in the parent, after the pool.  Only
+    ``on_report`` ordering (progress) and per-worker memo cache hit
+    rates (profiling counters) depend on scheduling.  Under
     ``fail_fast`` the parallel path still runs the whole batch but
     truncates the summary at the first failure, matching the serial
     report; it trades the early exit for throughput.
+
+    ``checkpoint`` (a :class:`repro.corpus.CampaignCheckpoint`) makes
+    the run resumable: tasks already journaled are not re-run, every
+    fresh result is journaled as it lands, and a run cut short — by
+    ``stop_after`` (process at most that many pending tasks) or by an
+    exception such as ``KeyboardInterrupt`` mid-pool — leaves a journal
+    from which the next call continues.  Because a task's result depends
+    only on its integers, the resumed campaign's summary is identical to
+    an uninterrupted run's, for any ``jobs`` value on either side.
     """
     diff_config = diff_config or DiffConfig()
     check_names = tuple(checks) if checks is not None else None
-    reports: List[InstanceReport] = []
+    tasks = campaign_tasks(count, seed, families, mutations)
+    results: List[Optional[InstanceReport]] = [None] * len(tasks)
+    if checkpoint is not None:
+        for index, report in checkpoint.completed().items():
+            if 0 <= index < len(tasks):
+                results[index] = report
+    pending = [
+        (index, task)
+        for index, task in enumerate(tasks)
+        if results[index] is None
+    ]
+    if stop_after is not None:
+        pending = pending[:stop_after]
+
+    def record(index: int, report: InstanceReport) -> None:
+        results[index] = report
+        if checkpoint is not None:
+            checkpoint.record(index, report)
+        if on_report is not None:
+            on_report(report)
+
     if jobs > 1:
-        tasks = [
-            (
-                seed + index,
-                families[index % len(families)],
-                gen_config,
-                diff_config,
+        payloads = [
+            (task_seed, family, mutation_seed, gen_config, diff_config,
+             check_names)
+            for _, (task_seed, family, mutation_seed) in pending
+        ]
+        steal_map(
+            _run_one_task,
+            payloads,
+            jobs=jobs,
+            on_result=lambda pos, report: record(pending[pos][0], report),
+        )
+    else:
+        for index, (task_seed, family, mutation_seed) in pending:
+            report = _run_one_task(
+                task_seed, family, mutation_seed, gen_config, diff_config,
                 check_names,
             )
-            for index in range(count)
-        ]
-        reports = starmap(
-            _run_one_instance, tasks, jobs=jobs, on_result=on_report
-        )
-        if fail_fast:
-            for index, report in enumerate(reports):
-                if not report.ok:
-                    reports = reports[: index + 1]
-                    break
-        # Serial shrinking of the failure seeds funneled back from the
-        # workers (greedy reduction re-runs checks; keeping it in the
-        # parent keeps it scheduling-independent and seed-reproducible).
-        if shrink:
-            for report in reports:
-                if report.ok:
-                    continue
+            record(index, report)
+            if fail_fast and not report.ok:
+                break
+
+    # The reported prefix: everything up to the first gap (in task
+    # order), truncated at the first failure under fail_fast — so the
+    # serial early exit and the run-everything parallel path agree.
+    reports: List[InstanceReport] = []
+    for report in results:
+        if report is None:
+            break
+        reports.append(report)
+        if fail_fast and not report.ok:
+            break
+    unfinished = sum(1 for report in results if report is None)
+    if unfinished and not (fail_fast and reports and not reports[-1].ok):
+        # Interrupted (stop_after): report the finished prefix only and
+        # defer the order-sensitive tail work to the completing run.
+        return CampaignSummary(reports, [], 0, partial=True,
+                               pending=unfinished)
+
+    # Serial shrinking of the failure seeds funneled back from the
+    # workers (greedy reduction re-runs checks; keeping it in the
+    # parent keeps it scheduling-independent and seed-reproducible).
+    if shrink:
+        for report in reports:
+            if report.ok or report.shrunk is not None:
+                continue
+            if report.mutation_seed is None:
                 instance = generate_instance(
                     report.seed, report.family, gen_config
                 )
-                shrunk = shrink_instance(
-                    instance, report.failures[0].name, diff_config
+            else:
+                instance = mutate_instance(
+                    report.seed, report.family, report.mutation_seed,
+                    gen_config,
                 )
-                if shrunk is not instance:
-                    report.shrunk = shrunk.describe()
-    else:
-        for index in range(count):
-            family = families[index % len(families)]
-            instance = generate_instance(seed + index, family, gen_config)
-            report = run_instance_checks(instance, diff_config, check_names)
-            if not report.ok and shrink:
-                failing = report.failures[0]
-                shrunk = shrink_instance(instance, failing.name, diff_config)
-                if shrunk is not instance:
-                    report.shrunk = shrunk.describe()
-            reports.append(report)
-            if on_report is not None:
-                on_report(report)
-            if fail_fast and not report.ok:
-                break
+            shrunk = shrink_instance(
+                instance, report.failures[0].name, diff_config
+            )
+            if shrunk is not instance:
+                report.shrunk = shrunk.describe()
     zone_failures = check_zone_algebra(
         random.Random(seed ^ 0x5EED5), trials=zone_trials
     )

@@ -1151,6 +1151,28 @@ def generate_instance(
     return GeneratedInstance(spec=spec, config=cfg)
 
 
+def mutate_instance(
+    seed: int,
+    family: Optional[str],
+    mutation_seed: int,
+    config: Optional[GenConfig] = None,
+) -> GeneratedInstance:
+    """Regenerate ``(seed, family)`` and apply one seeded mutation.
+
+    The corpus scheduler's unit of work: a corpus entry is identified by
+    its generating ``(seed, family)`` pair, and a mutation of it by one
+    extra integer — so a mutated instance is reproducible from three
+    integers exactly like a base instance is from two.  The mutated spec
+    keeps the base seed (checks derive their randomness from it), while
+    ``mutate_spec`` stamps the family ``mutant`` and records the operator
+    in the name.
+    """
+    base = generate_instance(seed, family, config)
+    rng = random.Random(mutation_seed)
+    spec = replace(mutate_spec(base.spec, rng), seed=seed)
+    return GeneratedInstance(spec=spec, config=base.config)
+
+
 def generate_batch(
     count: int,
     seed: int = 0,

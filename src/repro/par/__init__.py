@@ -4,8 +4,12 @@ The differential fuzz campaigns (:mod:`repro.gen`) and the
 mutation-detection test campaigns (:mod:`repro.testing.campaign`) are
 embarrassingly parallel — thousands of independent generate → solve →
 conformance instances — but were strictly serial.  :mod:`repro.par`
-provides the one primitive both need: :func:`starmap`, an
-order-preserving parallel map over picklable task tuples that
+provides the primitive both need: an order-preserving parallel map over
+picklable task tuples, in two dispatch flavours — :func:`starmap`
+(contiguous chunks, lowest overhead for uniform tasks) and
+:func:`steal_map` (work-stealing single-task dispatch, so one
+solver-heavy instance never straggles a chunk of cheap neighbours; the
+campaign default).  Both
 
 * keeps results **deterministic**: results come back in task order no
   matter which worker finished first, so a sharded campaign report is
@@ -21,11 +25,12 @@ See :mod:`repro.par.pool` for the implementation and the determinism
 contract.
 """
 
-from .pool import auto_jobs, parse_jobs, resolve_jobs, starmap
+from .pool import auto_jobs, parse_jobs, resolve_jobs, starmap, steal_map
 
 __all__ = [
     "auto_jobs",
     "parse_jobs",
     "resolve_jobs",
     "starmap",
+    "steal_map",
 ]

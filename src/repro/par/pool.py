@@ -65,6 +65,20 @@ def resolve_jobs(jobs: int, task_count: int) -> int:
     return max(1, min(jobs, task_count))
 
 
+def _run_task(payload) -> Tuple[int, object, dict]:
+    """Worker entry point for :func:`steal_map`: one indexed task.
+
+    Like :func:`_run_chunk` but at single-task granularity — the unit
+    idle workers pull from the shared queue — so the counter export is
+    exactly that task's op profile (the corpus uses it as a per-instance
+    coverage signal).
+    """
+    fn, index, args = payload
+    counters.reset()
+    result = fn(*args)
+    return index, result, counters.export()
+
+
 def _run_chunk(payload) -> Tuple[List[Tuple[int, object]], dict]:
     """Worker entry point: run one chunk of indexed tasks.
 
@@ -134,6 +148,61 @@ def starmap(
                 results[index] = result
                 if on_result is not None:
                     on_result(result)
+        pool.close()
+        pool.join()
+    finally:
+        pool.terminate()
+    return results
+
+
+def steal_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int = 1,
+    *,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List[object]:
+    """Work-stealing ``starmap``: single-task dispatch from a shared queue.
+
+    Same determinism contract as :func:`starmap` — ``[fn(*t) for t in
+    tasks]`` in task order for every ``jobs`` value — but tasks are
+    handed to workers **one at a time** (``imap_unordered`` with
+    chunksize 1 over a shared queue): an idle worker immediately steals
+    the next pending task, so one solver-heavy task never straggles a
+    pre-assigned chunk of cheap neighbours.  Preferred over the chunked
+    dispatch whenever per-task cost is wildly uneven (differential fuzz
+    instances, mutant sweeps); the per-task dispatch/pickling overhead
+    only matters when tasks are tiny *and* uniform.
+
+    ``on_result`` — unlike :func:`starmap`'s — receives ``(index,
+    result)`` as results arrive in completion order, which is what an
+    incremental campaign checkpoint needs (results must be journaled
+    under their task index to be resumable in any completion order).
+    Per-task worker counters merge into the parent exactly like the
+    chunked path's.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs, len(tasks))
+    if jobs <= 1:
+        out = []
+        for index, args in enumerate(tasks):
+            result = fn(*args)
+            out.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return out
+    payloads = [(fn, index, args) for index, args in enumerate(tasks)]
+    results: List[object] = [None] * len(tasks)
+    ctx = get_context()
+    pool = ctx.Pool(processes=jobs)
+    try:
+        for index, result, exported in pool.imap_unordered(
+            _run_task, payloads, chunksize=1
+        ):
+            counters.merge(exported)
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
         pool.close()
         pool.join()
     finally:

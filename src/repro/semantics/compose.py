@@ -332,6 +332,62 @@ class StateEstimate:
             out.append(zone)
         return new_locs, new_vars, out
 
+    def _group_enables(
+        self,
+        locs: Tuple[int, ...],
+        vars: Tuple[int, ...],
+        zones: List[DBM],
+        move: Move,
+    ) -> bool:
+        """Existence-only probe: is the move enabled in *some* member?
+
+        The early-exit twin of :meth:`_post_group` for
+        :meth:`enabled_labels`, which needs one surviving zone, never the
+        zones themselves.  Shared encodings are computed once per group;
+        then the batched path asks :func:`repro.dbm.stack.any_hidden_post`
+        (no copy-out, no delay step — resets cannot empty a nonempty zone
+        and emptiness is delay-invariant) and the per-zone path
+        short-circuits at the first survivor, with the same shortcut:
+        when the target state carries no clock invariant, surviving the
+        guard already proves enabledness.
+        """
+        system = self.system
+        new_vars = system.apply_move_vars(vars, move)
+        if new_vars is None:
+            return False
+        new_locs = system.target_locs(locs, move)
+        if not system.invariant_int_ok(new_locs, new_vars):
+            return False
+        guard = self._scaled(system.guard_constraints(move, vars))
+        invariant = self._scaled(
+            system.invariant_constraints(new_locs, new_vars)
+        )
+        resets = system.resets_of(move)
+        if self.batch and len(zones) >= self.batch_min:
+            counters.inc("estimate.enable_probes_batched")
+            stacked = np.stack([z.m for z in zones])
+            return _sk.any_hidden_post(
+                stacked,
+                guard,
+                [clock for clock, _ in resets],
+                [(clock, value * self.scale) for clock, value in resets if value],
+                invariant,
+            )
+        counters.inc("estimate.enable_probes_scalar")
+        for zone in zones:
+            zone = zone.constrained(guard)
+            if zone.is_empty():
+                continue
+            if not invariant:
+                return True
+            if resets:
+                zone = zone.assign_clocks(
+                    [(clock, value * self.scale) for clock, value in resets]
+                )
+            if not zone.constrained(invariant).is_empty():
+                return True
+        return False
+
     def _post(self, member: _Member, move: Move) -> Optional[_Member]:
         """Discrete successor on padded zones (mirrors ``System.post``)."""
         system = self.system
@@ -640,15 +696,19 @@ class StateEstimate:
         return True
 
     def enabled_labels(self, direction: str) -> List[str]:
-        """Labels of ``direction`` moves enabled in some member right now."""
+        """Labels of ``direction`` moves enabled in some member right now.
+
+        Runs the existence-only probe (:meth:`_group_enables`) instead of
+        materialising successor zones: per (group, label) the probe stops
+        at the first member with a nonempty post.
+        """
         labels: set = set()
         for (locs, vars), group in self._grouped(self.states).items():
             zones = [m.zone for m in group]
             for move in self.system.moves_from(locs, vars, self.mode):
                 if move.direction != direction or move.label in labels:
                     continue
-                res = self._post_group(locs, vars, zones, move, delayed=False)
-                if res is not None and res[2]:
+                if self._group_enables(locs, vars, zones, move):
                     labels.add(move.label)
         return sorted(labels)
 

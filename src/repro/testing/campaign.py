@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..game.cooperative import CooperativeStrategy
 from ..game.solver import GameResult, TwoPhaseSolver
 from ..game.strategy import Strategy
-from ..par import starmap
+from ..par import steal_map
 from ..semantics.system import System
 from ..tctl.query import Query, parse_query
 from .executor import execute_test
@@ -168,11 +168,14 @@ class TestCampaign:
         *,
         repetitions: int = 1,
         max_iterations: int = 10_000,
+        max_states: int = 256,
     ) -> CampaignReport:
         """Test one implementation against every purpose.
 
         ``implementation_factory`` builds a *fresh* implementation per run
-        (runs must not leak state into each other).
+        (runs must not leak state into each other).  ``max_states`` is
+        the spec monitor's symbolic state-set budget (hidden-sync plants
+        only); raise it to trade INCONCLUSIVE budget verdicts for work.
         """
         outcomes = []
         for query in self.queries:
@@ -188,7 +191,9 @@ class TestCampaign:
                     imp = implementation_factory()
                     outcome.runs.append(
                         execute_test(
-                            strategy, self.plant, imp, max_iterations=max_iterations
+                            strategy, self.plant, imp,
+                            max_iterations=max_iterations,
+                            max_states=max_states,
                         )
                     )
             outcomes.append(outcome)
@@ -317,6 +322,7 @@ def _detect_one(
     policies: Tuple[str, ...],
     repetitions: int,
     max_iterations: int,
+    max_states: int = 256,
 ) -> MutantOutcome:
     """One mutant's sweep (module-level: the pool's unit of work)."""
     campaign = _cached_campaign(
@@ -332,7 +338,8 @@ def _detect_one(
             for _ in range(repetitions):
                 imp = SimulatedImplementation(mutant_system, make_policy(policy))
                 run = execute_test(
-                    strategy, campaign.plant, imp, max_iterations=max_iterations
+                    strategy, campaign.plant, imp,
+                    max_iterations=max_iterations, max_states=max_states,
                 )
                 if run.failed:
                     return MutantOutcome(
@@ -382,6 +389,7 @@ class MutationCampaign:
         policies: Sequence[str] = DEFAULT_POLICIES,
         repetitions: int = 1,
         max_iterations: int = 10_000,
+        max_states: int = 256,
     ) -> MutantOutcome:
         """One mutant's sweep, in-process."""
         return _detect_one(
@@ -394,6 +402,7 @@ class MutationCampaign:
             tuple(policies),
             repetitions,
             max_iterations,
+            max_states,
         )
 
     def run(
@@ -404,8 +413,17 @@ class MutationCampaign:
         policies: Sequence[str] = DEFAULT_POLICIES,
         repetitions: int = 1,
         max_iterations: int = 10_000,
+        max_states: int = 256,
     ) -> MutationReport:
-        """Sweep every mutant, sharded over ``jobs`` worker processes."""
+        """Sweep every mutant, sharded over ``jobs`` worker processes.
+
+        Dispatch is work-stealing (:func:`repro.par.steal_map`): mutant
+        cost varies wildly with how fast a strategy kills it, so
+        single-task dispatch keeps the pool busy where chunking would
+        straggle.  The per-process strategy cache still amortizes
+        synthesis — every worker solves each purpose at most once,
+        whichever mutants it happens to steal.
+        """
         tasks = [
             (
                 self.arena_factory,
@@ -417,7 +435,8 @@ class MutationCampaign:
                 tuple(policies),
                 repetitions,
                 max_iterations,
+                max_states,
             )
             for spec in specs
         ]
-        return MutationReport(list(starmap(_detect_one, tasks, jobs=jobs)))
+        return MutationReport(list(steal_map(_detect_one, tasks, jobs=jobs)))

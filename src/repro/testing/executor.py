@@ -62,6 +62,10 @@ class TestExecutor:
     spec_plant: System
     implementation: SimulatedImplementation
     max_iterations: int = 10_000
+    #: Symbolic state-set budget of the spec monitor (estimated monitors
+    #: only); exceeding it yields INCONCLUSIVE, never a crash.  Deep
+    #: campaigns raise it instead of eating budget-skips.
+    max_states: int = 256
 
     @property
     def _plant_names(self):
@@ -113,7 +117,7 @@ class TestExecutor:
         trace = TimedTrace()
         try:
             # Monitor construction may already run a hidden-move closure.
-            monitor = TiocoMonitor(self.spec_plant)
+            monitor = TiocoMonitor(self.spec_plant, max_states=self.max_states)
             return self._run_loop(strategy, monitor, imp, tester, trace)
         except EstimateLimit as limit:
             # The composed spec's hidden-move closure blew its budget:
@@ -333,7 +337,10 @@ def execute_test(
     implementation: SimulatedImplementation,
     *,
     max_iterations: int = 10_000,
+    max_states: int = 256,
 ) -> TestRun:
     """One-shot convenience wrapper around :class:`TestExecutor`."""
-    executor = TestExecutor(strategy, spec_plant, implementation, max_iterations)
+    executor = TestExecutor(
+        strategy, spec_plant, implementation, max_iterations, max_states
+    )
     return executor.run()

@@ -92,6 +92,31 @@ def merge_all(exports: List[Dict[str, Dict]]) -> None:
         merge(exported)
 
 
+def diff(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, int]:
+    """Per-key deltas between two :func:`export` snapshots, flattened.
+
+    The per-unit-of-work profile used as a coverage signal by the fuzz
+    corpus (:mod:`repro.corpus`): plain counters yield their increment,
+    stats yield ``name.n`` (samples) and ``name.sum`` (total) increments —
+    ``max`` is not subtractable and is dropped.  Zero deltas are omitted,
+    so an idle counter leaves no key at all.
+    """
+    out: Dict[str, int] = {}
+    before_counts = before.get("counts", {})
+    for name, n in after.get("counts", {}).items():
+        delta = n - before_counts.get(name, 0)
+        if delta:
+            out[name] = delta
+    before_stats = before.get("stats", {})
+    for name, (count, total, _peak) in after.get("stats", {}).items():
+        b_count, b_total, _ = before_stats.get(name, (0, 0, 0))
+        if count - b_count:
+            out[f"{name}.n"] = count - b_count
+        if total - b_total:
+            out[f"{name}.sum"] = total - b_total
+    return out
+
+
 def snapshot() -> Dict[str, Union[int, Dict[str, float]]]:
     """All counters and stats as a plain JSON-friendly dict."""
     out: Dict[str, Union[int, Dict[str, float]]] = dict(_COUNTS)

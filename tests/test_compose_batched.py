@@ -213,6 +213,81 @@ class TestRescaledDelays:
 # ----------------------------------------------------------------------
 
 
+class TestEnabledEarlyExit:
+    """``enabled_labels`` existence-only probe (the PR's early-exit path).
+
+    :meth:`StateEstimate._group_enables` answers "is some member's post
+    nonempty" without materialising successor zones — batched through
+    :func:`repro.dbm.stack.any_hidden_post`, per-zone with a first-survivor
+    short-circuit.  The probe must agree move-for-move with the full
+    :meth:`_post_group` pipeline, and ``enabled_labels`` must actually run
+    it (probe counters up, full-post kernel counter untouched).
+    """
+
+    @staticmethod
+    def assert_probe_matches_posts(estimate, context):
+        system = estimate.system
+        for (locs, vars), group in estimate._grouped(estimate.states).items():
+            zones = [m.zone for m in group]
+            for move in system.moves_from(locs, vars, estimate.mode):
+                enabled = estimate._group_enables(locs, vars, zones, move)
+                post = estimate._post_group(
+                    locs, vars, zones, move, delayed=False
+                )
+                materialised = post is not None and bool(post[2])
+                assert enabled == materialised, (
+                    f"{context}: probe={enabled} but full post"
+                    f" {'survives' if materialised else 'dies'}"
+                    f" on {move.label}"
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1500),
+        family=st.sampled_from(COMPOSED_FAMILIES),
+    )
+    def test_probe_agrees_with_materialised_posts(self, seed, family):
+        instance = generate_instance(seed, family)
+        system = System(instance.plant)
+        for estimate in estimate_pair(system):
+            context = f"{family} seed {seed}"
+            self.assert_probe_matches_posts(estimate, f"{context} initial")
+            inputs = estimate.enabled_labels("input")
+            if inputs and estimate.observe(inputs[0], "input"):
+                self.assert_probe_matches_posts(
+                    estimate, f"{context} after {inputs[0]}?"
+                )
+
+    def test_batched_labels_run_the_probe_kernel_not_the_full_post(self):
+        estimate = StateEstimate(
+            System(hidden_chain_network()), batch=True, batch_min=1
+        )
+        estimate.observe("go", "input")
+        assert estimate.advance(Fraction(1))  # fin! needs c1 >= 1
+        counters.reset()
+        assert estimate.enabled_labels("output") == ["fin"]
+        counts = counters.export()["counts"]
+        assert counts.get("estimate.enable_probes_batched", 0) > 0
+        assert counts.get("stack.any_posts", 0) > 0
+        # The probe never materialises successors: the full-post kernel
+        # (and its copy-out) must not have run at all.
+        assert counts.get("stack.hidden_posts", 0) == 0
+        assert counts.get("estimate.batched_groups", 0) == 0
+
+    def test_scalar_labels_short_circuit_without_the_kernel(self):
+        estimate = StateEstimate(
+            System(hidden_chain_network()), batch=False
+        )
+        estimate.observe("go", "input")
+        assert estimate.advance(Fraction(1))
+        counters.reset()
+        assert estimate.enabled_labels("output") == ["fin"]
+        counts = counters.export()["counts"]
+        assert counts.get("estimate.enable_probes_scalar", 0) > 0
+        assert counts.get("stack.any_posts", 0) == 0
+        assert counts.get("estimate.scalar_groups", 0) == 0
+
+
 class TestClosureMemo:
     @pytest.fixture(params=[True, False], ids=["batched", "scalar"])
     def estimate(self, request):

@@ -1,0 +1,514 @@
+"""Tests of the persistent corpus, scheduler, and resumable campaigns.
+
+The fabric's contract has three layers, pinned here bottom-up:
+
+* the **store** — entries round-trip through disk, first writer per
+  structural hash wins, iteration is sorted, signatures bucket away
+  counter jitter;
+* the **scheduler** — `plan_mutations` is a pure function of the corpus
+  snapshot and budget (rarity-ranked, round-robin, failed entries
+  excluded), and mutation seeds derive from sha256, not process state;
+* the **checkpoint** — an interrupted campaign (KeyboardInterrupt or
+  ``--stop-after``) resumed with ``--resume`` produces the byte-identical
+  report an uninterrupted run would have, modulo the declared-volatile
+  keys, for any ``--jobs`` value on either side of the interrupt.
+
+Plus the PR's budget-plumbing satellite: ``--max-estimate-states``
+reaches the conformance monitors' symbolic state-set trackers.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.corpus import (
+    CampaignCheckpoint,
+    CheckpointMismatch,
+    Corpus,
+    CorpusEntry,
+    MutationTask,
+    campaign_fingerprint,
+    coverage_signature,
+    derive_mutation_seed,
+    fingerprint_core,
+    plan_mutations,
+)
+from repro.gen.cli import (
+    VOLATILE_REPORT_KEYS,
+    _diff_config_from_args,
+    build_parser,
+    main as cli_main,
+)
+from repro.gen.differential import (
+    CheckResult,
+    DiffConfig,
+    InstanceReport,
+    check_estimate,
+    run_campaign,
+)
+from repro.gen.networks import generate_instance
+from repro.semantics import System
+from repro.ta.builder import NetworkBuilder
+from repro.testing import RelativizedMonitor, TiocoMonitor
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+
+def make_entry(structural_hash, seed, family="chain", signature="sig-a",
+               statuses=None, mutation_seed=None):
+    return CorpusEntry(
+        structural_hash=structural_hash,
+        seed=seed,
+        family=family,
+        signature=signature,
+        mutation_seed=mutation_seed,
+        statuses=statuses if statuses is not None else {"solvers": "ok"},
+        coverage={"estimate.timed_closures": seed},
+    )
+
+
+class TestCoverageSignature:
+    def test_deterministic_and_order_insensitive(self):
+        one = coverage_signature(
+            "chain", {"a": "ok", "b": "skip"}, {"x": 5, "y": 900}
+        )
+        two = coverage_signature(
+            "chain", {"b": "skip", "a": "ok"}, {"y": 900, "x": 5}
+        )
+        assert one == two
+        assert len(one) == 16
+
+    def test_buckets_absorb_jitter_but_not_magnitude(self):
+        base = coverage_signature("chain", {"a": "ok"}, {"ops": 867})
+        jitter = coverage_signature("chain", {"a": "ok"}, {"ops": 901})
+        magnitude = coverage_signature("chain", {"a": "ok"}, {"ops": 8})
+        assert base == jitter  # same log2 bucket
+        assert base != magnitude
+
+    def test_statuses_and_family_discriminate(self):
+        ok = coverage_signature("chain", {"a": "ok"}, {})
+        fail = coverage_signature("chain", {"a": "fail"}, {})
+        ring = coverage_signature("ring", {"a": "ok"}, {})
+        assert len({ok, fail, ring}) == 3
+
+
+class TestCorpusStore:
+    def test_round_trip(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        entry = make_entry("deadbeef", 7, mutation_seed=123)
+        assert corpus.add(entry)
+        assert len(corpus) == 1
+        loaded = corpus.get("deadbeef")
+        assert loaded == entry
+        assert loaded.reproducer() == "mutate_instance(7, 'chain', 123)"
+        assert corpus.get("cafebabe") is None
+
+    def test_first_writer_wins(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        assert corpus.add(make_entry("aa", 1, signature="first"))
+        assert not corpus.add(make_entry("aa", 2, signature="second"))
+        assert corpus.get("aa").signature == "first"
+        assert len(corpus) == 1
+
+    def test_iteration_sorted_and_stats(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        corpus.add(make_entry("cc", 3, family="ring", signature="s2"))
+        corpus.add(make_entry("aa", 1, signature="s1"))
+        corpus.add(make_entry("bb", 2, signature="s1"))
+        assert [e.structural_hash for e in corpus] == ["aa", "bb", "cc"]
+        assert corpus.signature_counts() == {"s1": 2, "s2": 1}
+        assert corpus.stats() == {"entries": 3, "signatures": 2, "families": 2}
+
+    def test_reinsertion_is_byte_stable(self, tmp_path):
+        """Re-running the same campaign over a corpus must be a no-op."""
+        corpus = Corpus(str(tmp_path / "corpus"))
+        entry = make_entry("aa", 1)
+        corpus.add(entry)
+        before = (tmp_path / "corpus" / "entries" / "aa.json").read_bytes()
+        assert not corpus.add(entry)
+        after = (tmp_path / "corpus" / "entries" / "aa.json").read_bytes()
+        assert before == after
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+
+class TestPlanMutations:
+    def populated(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        # One rare signature, one three-way-common signature, one failure.
+        corpus.add(make_entry("r1", 10, signature="rare"))
+        corpus.add(make_entry("c1", 20, signature="common"))
+        corpus.add(make_entry("c2", 21, signature="common"))
+        corpus.add(make_entry("c3", 22, signature="common"))
+        corpus.add(
+            make_entry("f1", 30, signature="broken",
+                       statuses={"solvers": "fail"})
+        )
+        return corpus
+
+    def test_rarest_first_and_failed_excluded(self, tmp_path):
+        corpus = self.populated(tmp_path)
+        plan = plan_mutations(corpus, budget=100, rounds=1)
+        assert [task.seed for task in plan] == [10, 20, 21, 22]
+        assert all(task.seed != 30 for task in plan)
+
+    def test_round_robin_spreads_budget(self, tmp_path):
+        corpus = self.populated(tmp_path)
+        plan = plan_mutations(corpus, budget=6, rounds=2)
+        assert len(plan) == 6
+        # Every candidate's round-0 mutant lands before any round-1 one.
+        assert [task.seed for task in plan] == [10, 20, 21, 22, 10, 20]
+        assert plan[0].mutation_seed != plan[4].mutation_seed
+
+    def test_deterministic_across_calls(self, tmp_path):
+        corpus = self.populated(tmp_path)
+        assert plan_mutations(corpus, 5) == plan_mutations(corpus, 5)
+        assert plan_mutations(corpus, 0) == []
+
+    def test_mutation_seeds_are_sha_derived(self, tmp_path):
+        entry = make_entry("aa", 1)
+        first = derive_mutation_seed(entry, 0)
+        assert first == derive_mutation_seed(entry, 0)
+        assert first != derive_mutation_seed(entry, 1)
+        assert 0 <= first < 2**48
+
+    def test_tasks_survive_json(self):
+        task = MutationTask(seed=7, family="chain", mutation_seed=99)
+        rows = json.loads(json.dumps([task.to_list()]))
+        from repro.corpus import tasks_from_lists
+
+        assert tasks_from_lists(rows) == [task]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+
+def make_report(seed, family="chain"):
+    return InstanceReport(
+        seed=seed,
+        family=family,
+        structural_hash=f"hash-{seed}",
+        description=f"instance {seed}",
+        results=[CheckResult("solvers", "ok", "")],
+        coverage={"ops": seed},
+    )
+
+
+def fresh_fingerprint(mutations=()):
+    return campaign_fingerprint(
+        4, 100, ["chain"], ["solvers"], None, None, mutations
+    )
+
+
+class TestCheckpoint:
+    def test_record_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        plan = [MutationTask(100, "chain", 42)]
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint(plan))
+        checkpoint.record(0, make_report(100))
+        checkpoint.record(2, make_report(102))
+        checkpoint.close()
+
+        resumed = CampaignCheckpoint(path)
+        assert resumed.exists()
+        resumed.load()
+        completed = resumed.completed()
+        assert sorted(completed) == [0, 2]
+        assert completed[0].to_dict() == make_report(100).to_dict()
+        assert resumed.mutations() == plan
+        resumed.close()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint())
+        checkpoint.record(0, make_report(100))
+        checkpoint.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "report", "index": 1, "repo')  # kill here
+        resumed = CampaignCheckpoint(path)
+        resumed.load()
+        assert sorted(resumed.completed()) == [0]
+        resumed.close()
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint())
+        checkpoint.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"kind": "report", "index": 0, "report": {}}\n')
+        with pytest.raises(CheckpointMismatch, match="malformed"):
+            CampaignCheckpoint(path).load()
+
+    def test_foreign_campaign_raises_with_differing_keys(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint())
+        checkpoint.close()
+        other = campaign_fingerprint(
+            9, 100, ["chain"], ["solvers"], None, None, ()
+        )
+        with pytest.raises(CheckpointMismatch, match="count"):
+            CampaignCheckpoint(path).load(
+                expected_core=fingerprint_core(other)
+            )
+        # The matching core loads fine.
+        loaded = CampaignCheckpoint(path)
+        loaded.load(expected_core=fingerprint_core(fresh_fingerprint()))
+        loaded.close()
+
+    def test_finalize_removes_journal(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint())
+        checkpoint.record(0, make_report(100))
+        checkpoint.finalize()
+        assert not checkpoint.exists()
+
+
+# ----------------------------------------------------------------------
+# Library-level interrupt → resume
+# ----------------------------------------------------------------------
+
+FAST_CAMPAIGN = dict(
+    count=6,
+    seed=90,
+    families=("chain",),
+    checks=("semantics",),
+    diff_config=DiffConfig(sim_steps=5, conf_steps=5, check_fixpoint=False),
+    zone_trials=5,
+)
+
+
+def stripped(report):
+    """A report's deterministic part (coverage is declared volatile)."""
+    payload = report.to_dict()
+    del payload["coverage"]
+    return payload
+
+
+class TestResumableCampaign:
+    def test_stop_after_yields_partial_summary(self, tmp_path):
+        checkpoint = CampaignCheckpoint(str(tmp_path / "checkpoint.jsonl"))
+        checkpoint.start(fresh_fingerprint())
+        summary = run_campaign(
+            **FAST_CAMPAIGN, checkpoint=checkpoint, stop_after=2
+        )
+        checkpoint.close()
+        assert summary.partial
+        assert summary.pending == 4
+        assert len(summary.reports) == 2
+        # Tail work (zone trials, shrinking) is deferred to completion.
+        assert summary.zone_trials == 0
+        assert "PARTIAL: 4 tasks pending" in summary.format()
+
+    def test_interrupt_then_resume_matches_uninterrupted(self, tmp_path):
+        direct = run_campaign(**FAST_CAMPAIGN)
+
+        path = str(tmp_path / "checkpoint.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.start(fresh_fingerprint())
+        seen = []
+
+        def interrupt(report):
+            seen.append(report)
+            if len(seen) == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                **FAST_CAMPAIGN, checkpoint=checkpoint, on_report=interrupt
+            )
+        checkpoint.close()
+
+        resumed = CampaignCheckpoint(path)
+        resumed.load()
+        assert len(resumed.completed()) == 3  # journaled before the raise
+        summary = run_campaign(**FAST_CAMPAIGN, checkpoint=resumed)
+        resumed.finalize()
+
+        assert not summary.partial
+        assert [stripped(r) for r in summary.reports] == [
+            stripped(r) for r in direct.reports
+        ]
+        assert summary.zone_failures == direct.zone_failures
+        assert summary.zone_trials == direct.zone_trials
+        assert not resumed.exists()
+
+
+# ----------------------------------------------------------------------
+# CLI: --corpus / --stop-after / --resume, byte-identical across --jobs
+# ----------------------------------------------------------------------
+
+CLI_COMMON = [
+    "--count", "18",
+    "--seed", "4200",
+    "--checks", "estimate,semantics",
+    "--steps", "6",
+    "--zone-trials", "0",
+    "--no-fixpoint",
+]
+
+
+def run_cli(tmp_path, tag, extra, jobs=1):
+    report = tmp_path / f"report-{tag}.json"
+    argv = CLI_COMMON + [
+        "--jobs", str(jobs), "--report-json", str(report)
+    ] + extra
+    return cli_main(argv), report
+
+
+def stable_payload(path):
+    payload = json.loads(path.read_text())
+    for key in VOLATILE_REPORT_KEYS:
+        assert key in payload
+        del payload[key]
+    return payload
+
+
+class TestCliResume:
+    def test_resume_requires_corpus(self):
+        with pytest.raises(SystemExit, match="--corpus"):
+            cli_main(["--resume"])
+
+    @pytest.mark.parametrize("jobs_pair", [(1, 4), (4, 1)])
+    def test_interrupted_resume_is_byte_identical(self, tmp_path, jobs_pair):
+        """The acceptance criterion: stop-after + resume == direct run.
+
+        The interrupt and the resume run at *different* ``--jobs``
+        values, and the completed report must still match a corpus-less
+        direct run byte-for-byte modulo the volatile keys."""
+        stop_jobs, resume_jobs = jobs_pair
+        code, direct = run_cli(tmp_path, "direct", [], jobs=2)
+        assert code == 0
+        baseline = stable_payload(direct)
+        assert baseline["partial"] is False
+
+        corpus_dir = tmp_path / f"corpus-{stop_jobs}-{resume_jobs}"
+        stopped = ["--corpus", str(corpus_dir), "--stop-after", "7"]
+        code, partial = run_cli(tmp_path, "stopped", stopped, jobs=stop_jobs)
+        assert code == 3
+        assert (corpus_dir / "checkpoint.jsonl").exists()
+        partial_payload = stable_payload(partial)
+        assert partial_payload["partial"] is True
+        assert partial_payload != baseline
+
+        resume = ["--corpus", str(corpus_dir), "--resume"]
+        code, completed = run_cli(tmp_path, "resumed", resume, jobs=resume_jobs)
+        assert code == 0
+        assert not (corpus_dir / "checkpoint.jsonl").exists()
+        assert stable_payload(completed) == baseline
+        # Completion graduates the finished instances into the corpus.
+        assert len(Corpus(str(corpus_dir))) > 0
+
+    def test_resume_refuses_a_foreign_journal(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        stopped = ["--corpus", str(corpus_dir), "--stop-after", "3"]
+        code, _ = run_cli(tmp_path, "stopped", stopped)
+        assert code == 3
+        argv = [arg if arg != "4200" else "4201" for arg in CLI_COMMON]
+        with pytest.raises(SystemExit, match="different campaign"):
+            cli_main(argv + ["--corpus", str(corpus_dir), "--resume"])
+
+    def test_mutation_plan_is_jobs_invariant_at_fixed_snapshot(self, tmp_path):
+        """Coverage-guided mutations keep the --jobs contract.
+
+        Two identical corpus snapshots, one campaign each at different
+        --jobs: the frozen mutation plans coincide, so the reports are
+        byte-identical modulo the volatile keys."""
+        seed_dir = tmp_path / "seed-corpus"
+        code, _ = run_cli(
+            tmp_path, "populate",
+            ["--corpus", str(seed_dir), "--mutations", "0"],
+        )
+        assert code == 0
+        assert len(Corpus(str(seed_dir))) > 0
+        twin_dir = tmp_path / "twin-corpus"
+        shutil.copytree(seed_dir, twin_dir)
+
+        payloads = []
+        for jobs, directory in ((1, seed_dir), (3, twin_dir)):
+            code, report = run_cli(
+                tmp_path, f"mutated-{jobs}",
+                ["--corpus", str(directory), "--mutations", "4"],
+                jobs=jobs,
+            )
+            assert code == 0
+            payloads.append(stable_payload(report))
+        assert payloads[0] == payloads[1]
+        assert payloads[0]["mutations"] == 4
+        # The mutants really ran: every check row covers count + budget.
+        for row in payloads[0]["counts"].values():
+            assert sum(row.values()) == 18 + 4
+
+
+# ----------------------------------------------------------------------
+# Budget plumbing: --max-estimate-states reaches the trackers
+# ----------------------------------------------------------------------
+
+
+def hidden_pair_network():
+    """go? → hidden sync → fin!: partial semantics with hidden moves."""
+    net = NetworkBuilder("hiddenpair")
+    net.clock("c0", "c1")
+    net.input_channel("go")
+    net.output_channel("h", "fin")
+    net.interface("go", "fin")
+    a = net.automaton("A")
+    a.location("Idle", initial=True)
+    a.location("Busy", "c0 <= 2")
+    a.location("Done")
+    a.edge("Idle", "Busy", sync="go?", assign="c0 := 0")
+    a.edge("Busy", "Done", sync="h!")
+    b = net.automaton("B")
+    b.location("Wait", initial=True)
+    b.location("Hold", "c1 <= 3")
+    b.location("End")
+    b.edge("Wait", "Hold", sync="h?", assign="c1 := 0")
+    b.edge("Hold", "End", sync="fin!", guard="c1 >= 1")
+    return net.build()
+
+
+class TestEstimateBudgetPlumbing:
+    def test_monitor_budget_reaches_the_tracker(self):
+        system = System(hidden_pair_network())
+        monitor = TiocoMonitor(system, max_states=7)
+        assert monitor.estimated
+        assert monitor._estimate.max_states == 7
+        relativized = RelativizedMonitor(system, max_states=5)
+        assert relativized._estimate.max_states == 5
+
+    def test_cli_knob_reaches_diff_config(self):
+        args = build_parser().parse_args(["--max-estimate-states", "7"])
+        cfg = _diff_config_from_args(args)
+        assert cfg.max_estimate_states == 7
+        assert _diff_config_from_args(
+            build_parser().parse_args([])
+        ).max_estimate_states == 256
+
+    def test_budget_one_turns_rich_instances_into_skips(self):
+        """A starved budget SKIPs (never crashes); the default runs."""
+        tight = DiffConfig(
+            max_estimate_states=1, conf_steps=8, check_fixpoint=False
+        )
+        roomy = DiffConfig(conf_steps=8, check_fixpoint=False)
+        for seed in range(20):
+            instance = generate_instance(seed, "chain")
+            result = check_estimate(instance, tight)
+            if result.status == "skip":
+                assert "state-estimate budget" in result.detail
+                assert check_estimate(instance, roomy).status == "ok"
+                return
+        pytest.fail("no chain seed tripped the max_estimate_states=1 budget")

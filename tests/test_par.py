@@ -16,7 +16,7 @@ import pytest
 
 from repro.gen.cli import VOLATILE_REPORT_KEYS, main as cli_main
 from repro.models.smartlight import smartlight_network, smartlight_plant
-from repro.par import auto_jobs, parse_jobs, resolve_jobs, starmap
+from repro.par import auto_jobs, parse_jobs, resolve_jobs, starmap, steal_map
 from repro.testing import MutantSpec, MutationCampaign
 from repro.util import counters
 
@@ -74,6 +74,53 @@ class TestStarmap:
         counters.reset()
         starmap(count_and_square, [(i,) for i in range(12)], jobs=4)
         assert counters.export() == serial
+
+
+class TestStealMap:
+    """Work-stealing dispatch must keep the starmap determinism contract."""
+
+    def test_serial_matches_parallel_in_order(self):
+        tasks = [(i,) for i in range(23)]
+        serial = steal_map(square, tasks, jobs=1)
+        stolen = steal_map(square, tasks, jobs=3)
+        assert serial == stolen == [i * i for i in range(23)]
+
+    def test_matches_chunked_starmap(self):
+        tasks = [(i,) for i in range(17)]
+        assert steal_map(square, tasks, jobs=4) == starmap(square, tasks, jobs=4)
+
+    def test_on_result_receives_indexed_pairs(self):
+        seen = []
+        steal_map(
+            square,
+            [(i,) for i in range(10)],
+            jobs=2,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert sorted(seen) == [(i, i * i) for i in range(10)]
+
+    def test_on_result_indexed_in_serial_mode_too(self):
+        seen = []
+        steal_map(
+            square,
+            [(i,) for i in range(5)],
+            jobs=1,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert seen == [(i, i * i) for i in range(5)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            steal_map(boom, [(1,), (2,)], jobs=2)
+
+    def test_counters_identical_to_serial(self):
+        counters.reset()
+        steal_map(count_and_square, [(i,) for i in range(12)], jobs=1)
+        serial = counters.export()
+        counters.reset()
+        steal_map(count_and_square, [(i,) for i in range(12)], jobs=4)
+        assert counters.export() == serial
+        assert serial["counts"]["par.test_ops"] == 12
 
 
 class TestJobsParsing:
