@@ -1,0 +1,165 @@
+"""Benchmarks of the asyncio test server (PR 7).
+
+What the server fabric is for: many concurrent sessions on one loop,
+sharing one synthesized strategy.  Measured over TCP loopback with the
+virtual clock (client-owned time), so numbers are protocol + session
+machinery, not sleeps:
+
+* **throughput** — complete hello→verdict smartlight sessions per
+  second at several concurrency levels, including the acceptance
+  target of 200+ concurrent sessions under the global state budget
+  (``sessions_per_sec`` extra_info);
+* **observe latency** — p50/p99 wall time from the client answering a
+  ``wait`` to the server's next frame, measured mid-session under
+  concurrent load (``p99_observe_ms`` extra_info);
+* **in-process floor** — the same session driven by ``TestExecutor``,
+  pricing the wire + loop overhead against the sans-IO core.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.models.smartlight import smartlight_plant
+from repro.semantics.system import System
+from repro.server import IUTClient, ServerConfig, TestServer
+from repro.testing import (
+    EagerPolicy,
+    RandomPolicy,
+    SimulatedImplementation,
+    TestExecutor,
+)
+
+SPEC = {"model": "smartlight"}
+
+
+def make_imp(i=0):
+    policy = EagerPolicy() if i % 2 == 0 else RandomPolicy(i)
+    return SimulatedImplementation(System(smartlight_plant()), policy)
+
+
+def run_wave(concurrency, sessions_per_conn=1, state_budget=100_000):
+    """Run ``concurrency`` clients at once; returns (elapsed, frames)."""
+
+    async def go():
+        server = TestServer(
+            ServerConfig(max_sessions=4 * concurrency, state_budget=state_budget)
+        )
+        await server.start()
+        try:
+            host, port = server.address
+            # Pre-warm the shared bundle so synthesis is not measured.
+            async with await IUTClient.connect(host, port) as client:
+                await client.run_session(make_imp(), SPEC)
+
+            async def one(i):
+                async with await IUTClient.connect(host, port) as client:
+                    out = []
+                    for s in range(sessions_per_conn):
+                        out.append(
+                            await client.run_session(make_imp(i + s), SPEC)
+                        )
+                    return out
+
+            start = time.perf_counter()
+            waves = await asyncio.gather(
+                *(one(i) for i in range(concurrency))
+            )
+            elapsed = time.perf_counter() - start
+            frames = [f for wave in waves for f in wave]
+            return elapsed, frames, server.stats()
+        finally:
+            await server.close()
+
+    return asyncio.run(go())
+
+
+@pytest.mark.parametrize("concurrency", [10, 50, 200])
+def test_bench_server_sessions(benchmark, concurrency):
+    """Sustained concurrent sessions over loopback (the acceptance case
+    is 200 concurrent sessions under the global state budget)."""
+
+    def run():
+        elapsed, frames, stats = run_wave(
+            concurrency, state_budget=max(1000, concurrency * 8)
+        )
+        assert len(frames) == concurrency
+        assert all(f["type"] == "verdict" for f in frames)
+        assert all(f["verdict"] == "pass" for f in frames)
+        assert stats["bundles"] == 1
+        return elapsed, stats
+
+    elapsed, stats = benchmark(run)
+    benchmark.extra_info["concurrent_sessions"] = concurrency
+    benchmark.extra_info["sessions_per_sec"] = round(concurrency / elapsed, 1)
+    benchmark.extra_info["peak_sessions"] = stats["peak_sessions"]
+    benchmark.extra_info["peak_states"] = stats["peak_states"]
+
+
+def test_bench_server_observe_latency(benchmark):
+    """p50/p99 observe latency: answered wait -> next server frame,
+    sampled mid-session while 20 background sessions churn."""
+
+    async def measure():
+        server = TestServer(ServerConfig())
+        await server.start()
+        try:
+            host, port = server.address
+            async with await IUTClient.connect(host, port) as client:
+                await client.run_session(make_imp(), SPEC)  # warm bundle
+
+            stop = asyncio.Event()
+
+            async def churn(i):
+                while not stop.is_set():
+                    async with await IUTClient.connect(host, port) as c:
+                        await c.run_session(make_imp(i), SPEC)
+
+            churners = [asyncio.create_task(churn(i)) for i in range(20)]
+            samples = []
+
+            class TimingClient(IUTClient):
+                async def _read(self):
+                    t0 = time.perf_counter()
+                    frame = await super()._read()
+                    samples.append(time.perf_counter() - t0)
+                    return frame
+
+            reader, writer = await asyncio.open_connection(host, port)
+            client = TimingClient(reader, writer)
+            for s in range(100):
+                await client.run_session(make_imp(s), SPEC)
+            await client.close()
+            stop.set()
+            for task in churners:
+                task.cancel()
+            await asyncio.gather(*churners, return_exceptions=True)
+            return samples
+        finally:
+            await server.close()
+
+    def run():
+        return asyncio.run(measure())
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples.sort()
+    p50 = samples[len(samples) // 2]
+    p99 = samples[int(len(samples) * 0.99) - 1]
+    benchmark.extra_info["observe_samples"] = len(samples)
+    benchmark.extra_info["p50_observe_ms"] = round(p50 * 1000, 3)
+    benchmark.extra_info["p99_observe_ms"] = round(p99 * 1000, 3)
+
+
+def test_bench_inprocess_floor(benchmark):
+    """The sans-IO core alone: what one session costs without the wire."""
+    from repro.server.registry import SpecResolver
+
+    bundle = SpecResolver().resolve(SPEC)
+
+    def run():
+        ex = TestExecutor(bundle.strategy, bundle.plant, make_imp())
+        return ex.run()
+
+    run_out = benchmark(run)
+    assert run_out.verdict == "pass"

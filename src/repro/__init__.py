@@ -20,6 +20,18 @@ Quickstart::
     system = System(network)
     result = solve_reachability_game(system, parse_query("control: A<> IUT.Goal"))
     strategy = Strategy(result)
+
+Execute the strategy against an implementation — in-process::
+
+    from repro import SessionConfig, SimulatedImplementation, execute_test
+    imp = SimulatedImplementation(System(plant_network), EagerPolicy())
+    run = execute_test(strategy, System(plant_network), imp,
+                       config=SessionConfig(max_states=512))
+
+or over the network: ``python -m repro.server --port 0`` accepts any
+peer speaking the newline-JSON protocol (see :mod:`repro.server`), and
+both drivers replay the same sans-IO :class:`TestSession`, so verdicts
+agree by construction.
 """
 
 from .dbm import DBM, Federation
@@ -57,9 +69,11 @@ from .testing import (
     QuiescentPolicy,
     RandomPolicy,
     RelativizedMonitor,
+    SessionConfig,
     SimulatedImplementation,
     TestCampaign,
     TestExecutor,
+    TestSession,
     TiocoMonitor,
     execute_test,
     replay_trace,
@@ -70,4 +84,89 @@ from .testing.trace import FAIL, INCONCLUSIVE, PASS, TestRun, TimedTrace
 # every layer above).
 from . import gen  # noqa: E402  (cycle-safe: repro core is fully loaded)
 
-__version__ = "1.1.0"
+# The network driver (repro.server) re-exports resolve lazily so that
+# library users don't pay its asyncio import footprint: the extra
+# GC-tracked objects measurably slow allocation-heavy zone kernels.
+_SERVER_EXPORTS = ("IUTClient", "ServerConfig", "TestServer", "run_remote_test")
+
+
+def __getattr__(name):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        value = getattr(server, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SERVER_EXPORTS))
+
+__version__ = "1.2.0"
+
+__all__ = [
+    "AutomatonBuilder",
+    "CampaignReport",
+    "ConcreteState",
+    "CooperativeStrategy",
+    "DBM",
+    "Decision",
+    "Declarations",
+    "EagerPolicy",
+    "ExplorationLimit",
+    "FAIL",
+    "Federation",
+    "GameError",
+    "GameResult",
+    "GoalPredicate",
+    "INCONCLUSIVE",
+    "IUTClient",
+    "LazyPolicy",
+    "ModelError",
+    "Move",
+    "Network",
+    "NetworkBuilder",
+    "OnTheFlySolver",
+    "PASS",
+    "PackedStrategy",
+    "Query",
+    "QuiescentPolicy",
+    "RandomPolicy",
+    "RelativizedMonitor",
+    "SafetyGameSolver",
+    "SafetyResult",
+    "SafetyStrategy",
+    "ServerConfig",
+    "SessionConfig",
+    "SimulatedImplementation",
+    "SimulationGraph",
+    "Strategy",
+    "SymbolicState",
+    "System",
+    "TestCampaign",
+    "TestExecutor",
+    "TestRun",
+    "TestServer",
+    "TestSession",
+    "TimedTrace",
+    "TiocoMonitor",
+    "TwoPhaseSolver",
+    "Verdictish",
+    "check_invariant",
+    "check_reachable",
+    "execute_test",
+    "find_deadlocks",
+    "gen",
+    "load_strategy",
+    "parse_assignments",
+    "parse_expression",
+    "parse_query",
+    "replay_trace",
+    "run_remote_test",
+    "save_strategy",
+    "solve_cooperative",
+    "solve_reachability_game",
+    "solve_safety_game",
+    "validate_plant",
+]

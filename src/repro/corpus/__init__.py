@@ -25,6 +25,7 @@ from .checkpoint import (
     campaign_fingerprint,
     fingerprint_core,
 )
+from .merge import MergeStats, merge_corpora
 from .schedule import (
     MutationTask,
     derive_mutation_seed,
@@ -41,6 +42,8 @@ __all__ = [
     "Corpus",
     "CorpusEntry",
     "coverage_signature",
+    "MergeStats",
+    "merge_corpora",
     "MutationTask",
     "derive_mutation_seed",
     "plan_mutations",

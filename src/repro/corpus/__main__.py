@@ -1,0 +1,48 @@
+"""``python -m repro.corpus`` — corpus maintenance from the shell.
+
+Currently one verb::
+
+    python -m repro.corpus --merge-into DEST SRC [SRC ...]
+
+unions the source corpus directories into DEST (first writer wins per
+structural hash; see :mod:`repro.corpus.merge`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .merge import merge_corpora
+from .store import Corpus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="Corpus maintenance (merge shard/nightly corpora)",
+    )
+    parser.add_argument(
+        "--merge-into",
+        metavar="DEST",
+        required=True,
+        help="destination corpus directory (created if missing)",
+    )
+    parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SRC",
+        help="source corpus directories to union into DEST",
+    )
+    args = parser.parse_args(argv)
+    stats = merge_corpora(args.merge_into, args.sources)
+    out = stats.to_dict()
+    out["dest"] = args.merge_into
+    out["dest_stats"] = Corpus(args.merge_into).stats()
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

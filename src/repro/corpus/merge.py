@@ -1,0 +1,55 @@
+"""Union corpus directories: ``merge_corpora(dest, sources)``.
+
+Sharded and nightly campaigns each grow their own corpus; CI wants one.
+The merge is nothing more than replaying every source entry through the
+destination's first-writer-wins :meth:`~repro.corpus.store.Corpus.add` —
+so it inherits the store's properties: idempotent (re-merging is a
+no-op), order-sensitive only where two corpora disagree about the same
+structural hash (the destination's existing entry, then the earliest
+source in argument order, wins), and byte-stable on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from .store import Corpus
+
+__all__ = ["MergeStats", "merge_corpora"]
+
+
+@dataclass
+class MergeStats:
+    """What one merge did (per source and in total)."""
+
+    added: int = 0
+    duplicates: int = 0
+    per_source: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "added": self.added,
+            "duplicates": self.duplicates,
+            "per_source": self.per_source,
+        }
+
+
+def merge_corpora(dest: str, sources: Iterable[str]) -> MergeStats:
+    """Union every source corpus into ``dest`` (created if missing)."""
+    corpus = Corpus(dest)
+    stats = MergeStats()
+    for source in sources:
+        added = duplicates = 0
+        for entry in Corpus(source):
+            if corpus.add(entry):
+                added += 1
+            else:
+                duplicates += 1
+        stats.added += added
+        stats.duplicates += duplicates
+        stats.per_source[source] = {
+            "added": added,
+            "duplicates": duplicates,
+        }
+    return stats

@@ -60,7 +60,7 @@ import os
 from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -163,6 +163,12 @@ class StateEstimate:
         self._scale_cap = max(1, MAX_BOUND_CONST // (max_const + 1))
         self.states: List[_Member] = []
         self._closure: Optional[List[_Member]] = None
+        #: Most members ever tracked at once (budget accounting).
+        self.peak: int = 0
+        #: Growth hook, called with the member count after every state-set
+        #: change — the test server wires its global state budget here so
+        #: backpressure sees estimate growth live, between observations.
+        self.on_growth: Optional[Callable[[int], None]] = None
         self.reset()
 
     # ------------------------------------------------------------------
@@ -182,10 +188,20 @@ class StateEstimate:
         if not self.states:
             raise ModelError("initial state violates an invariant")
         self._closure = None
+        self.peak = 0
+        self._notify()
 
     @property
     def size(self) -> int:
         return len(self.states)
+
+    def _notify(self) -> None:
+        """Record the new member count and fire the growth hook."""
+        n = len(self.states)
+        if n > self.peak:
+            self.peak = n
+        if self.on_growth is not None:
+            self.on_growth(n)
 
     def _scaled(self, constraints) -> list:
         if self.scale == 1:
@@ -642,6 +658,7 @@ class StateEstimate:
             return False
         self.states = result
         self._closure = None
+        self._notify()
         return True
 
     def observe(
@@ -668,6 +685,7 @@ class StateEstimate:
             return False
         self.states = self._instant_closure(matched)
         self._closure = None
+        self._notify()
         return True
 
     def observe_move(self, move: Move) -> bool:
@@ -693,6 +711,7 @@ class StateEstimate:
             return False
         self.states = self._instant_closure(matched)
         self._closure = None
+        self._notify()
         return True
 
     def enabled_labels(self, direction: str) -> List[str]:

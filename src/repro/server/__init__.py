@@ -1,0 +1,39 @@
+"""Online test server: many concurrent IUTs over one asyncio loop.
+
+The network driver over the transport-agnostic
+:class:`~repro.testing.session.TestSession` core.  Start one with
+``python -m repro.server --port 0`` (prints the bound port) and connect
+anything that speaks the newline-JSON protocol of
+:mod:`repro.server.protocol`; :class:`IUTClient` is the reference peer.
+"""
+
+from .client import IUTClient, run_remote_test, session_config_payload
+from .clocks import RealTimeClock, VirtualClock, make_clock
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .registry import SessionRegistry, SpecBundle, SpecResolver
+from .server import ServerConfig, TestServer
+
+__all__ = [
+    "IUTClient",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RealTimeClock",
+    "ServerConfig",
+    "SessionRegistry",
+    "SpecBundle",
+    "SpecResolver",
+    "TestServer",
+    "VirtualClock",
+    "decode_frame",
+    "encode_frame",
+    "make_clock",
+    "run_remote_test",
+    "session_config_payload",
+]

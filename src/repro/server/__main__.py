@@ -1,0 +1,131 @@
+"""``python -m repro.server`` — run the online test server.
+
+Examples::
+
+    python -m repro.server --port 9000
+    python -m repro.server --port 0            # ephemeral; prints the port
+    python -m repro.server --unix /tmp/repro.sock
+    python -m repro.server --clock realtime --timescale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from fractions import Fraction
+
+from ..testing.session import SessionConfig
+from .server import ServerConfig, TestServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Online conformance-test server (newline-JSON protocol)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 binds an ephemeral port and prints it",
+    )
+    parser.add_argument(
+        "--unix", metavar="PATH", help="serve on a UNIX socket instead of TCP"
+    )
+    parser.add_argument(
+        "--clock",
+        choices=("virtual", "realtime"),
+        default="virtual",
+        help="who owns time during waits (default: virtual = the client)",
+    )
+    parser.add_argument(
+        "--timescale",
+        type=float,
+        default=1.0,
+        help="realtime clock: wall seconds per model time unit",
+    )
+    parser.add_argument(
+        "--resolution",
+        type=Fraction,
+        default=Fraction(1, 100),
+        help="realtime clock: delay quantization grid (model time units)",
+    )
+    parser.add_argument(
+        "--observe-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="virtual clock: wall guard per wait (default: none)",
+    )
+    parser.add_argument("--max-sessions", type=int, default=1024)
+    parser.add_argument(
+        "--state-budget",
+        type=int,
+        default=100_000,
+        help="global tracked-states budget across all live sessions",
+    )
+    parser.add_argument("--max-states", type=int, default=256)
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="strategy-synthesis budget per spec (seconds)",
+    )
+    parser.add_argument(
+        "--no-cooperative",
+        action="store_true",
+        help="reject specs without a winning strategy instead of falling"
+        " back to cooperative testing",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        clock=args.clock,
+        timescale=args.timescale,
+        resolution=args.resolution,
+        observe_timeout=args.observe_timeout,
+        max_sessions=args.max_sessions,
+        state_budget=args.state_budget,
+        session=SessionConfig(
+            max_iterations=args.max_iterations, max_states=args.max_states
+        ),
+        time_limit=args.time_limit,
+        allow_cooperative=not args.no_cooperative,
+    )
+
+
+async def amain(config: ServerConfig) -> None:
+    server = TestServer(config)
+    await server.start()
+    host, port = server.address
+    if config.unix_path is not None:
+        print(f"listening on {host}", flush=True)
+    else:
+        print(f"listening on {host}:{port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(amain(config_from_args(args)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The wire protocol: newline-delimited JSON frames.
+
+One frame per line, UTF-8 JSON objects with a ``type`` field, ``\\n``
+terminated — trivially debuggable with ``nc``/``socat`` and language
+agnostic.  Delays are exact rationals encoded as strings (``"3/2"``,
+``"7"``); floats never cross the wire.
+
+Session lifecycle (server = tester, client = implementation under test)::
+
+    C -> S   {"type": "hello", "spec": {...}, "config": {...}}
+    S -> C   {"type": "ready", "session": ID, "winning": true}
+    S -> C   {"type": "input", "label": L, "updates": [[name, idx, v]..]}
+    C -> S   {"type": "input-result", "accepted": true}
+    S -> C   {"type": "wait", "deadline": "5/2"}
+    C -> S   {"type": "output", "delay": "3/2", "label": L}
+           | {"type": "quiet", "delay": "5/2"}
+    S -> C   {"type": "verdict", "verdict": "pass", ...}    (terminal)
+    S -> C   {"type": "error", "message": ...}              (terminal)
+
+``hello.spec`` selects the specification: ``{"model": "smartlight"}`` or
+``{"family": F, "seed": N}`` (plus optional ``"mutation_seed"``) for a
+generated instance, with an optional ``"query"`` test-purpose override.
+``hello.config`` carries :class:`~repro.testing.session.SessionConfig`
+fields (``max_states``, ``max_iterations``, ``relativized``) plus
+``"profile": true`` to get the session's op-counter profile back in the
+verdict frame.
+
+A ``quiet`` with ``delay`` *short of* the deadline is legal and re-enters
+the strategy (how a simulated IUT reports an internal step, or a
+real-time driver a timer tick).  Any malformed, oversized, out-of-order,
+or truncated frame costs *that session* an ``error`` frame and its
+connection — never the server, never another session.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_frame",
+    "encode_delay",
+    "encode_frame",
+    "frame_field",
+    "parse_delay",
+    "updates_from_wire",
+    "updates_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded frame; a peer shipping more per line is
+#: malformed by definition (frames carry labels and rationals, not data).
+MAX_FRAME_BYTES = 64 * 1024
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol (malformed, oversized, junk)."""
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame as a newline-terminated JSON line."""
+    return (
+        json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a frame dict, strictly."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"malformed frame: {err}") from err
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame is not an object: {frame!r}")
+    kind = frame.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("frame has no string 'type' field")
+    return frame
+
+
+def encode_delay(d: Fraction) -> str:
+    """Exact rational wire form: ``"7"`` or ``"3/2"``."""
+    return str(d)
+
+
+def parse_delay(value: object, *, field: str = "delay") -> Fraction:
+    """Parse a wire delay; rejects junk and negatives."""
+    if not isinstance(value, str):
+        raise ProtocolError(f"{field} must be a rational string, got {value!r}")
+    try:
+        d = Fraction(value)
+    except (ValueError, ZeroDivisionError) as err:
+        raise ProtocolError(f"bad {field} {value!r}: {err}") from err
+    if d < 0:
+        raise ProtocolError(f"negative {field} {value!r}")
+    return d
+
+
+def frame_field(frame: dict, name: str, kind: type, *, required: bool = True):
+    """Fetch+type-check one frame field (ProtocolError on violation)."""
+    if name not in frame:
+        if required:
+            raise ProtocolError(
+                f"{frame.get('type', '?')} frame missing field {name!r}"
+            )
+        return None
+    value = frame[name]
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise ProtocolError(
+            f"{frame.get('type', '?')} frame field {name!r} must be"
+            f" {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def updates_to_wire(updates) -> list:
+    """``(name, index_or_None, value)`` triples as JSON arrays."""
+    return [[name, index, value] for name, index, value in updates]
+
+
+def updates_from_wire(payload: Optional[list]) -> list:
+    """Inverse of :func:`updates_to_wire`, strictly validated."""
+    if payload is None:
+        return []
+    if not isinstance(payload, list):
+        raise ProtocolError("updates must be a list")
+    out = []
+    for item in payload:
+        if (
+            not isinstance(item, list)
+            or len(item) != 3
+            or not isinstance(item[0], str)
+            or not (item[1] is None or isinstance(item[1], int))
+            or not isinstance(item[2], int)
+        ):
+            raise ProtocolError(f"bad update triple {item!r}")
+        out.append((item[0], item[1], item[2]))
+    return out

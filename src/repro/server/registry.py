@@ -1,0 +1,312 @@
+"""Shared spec bundles and the global session/state budget.
+
+Two concerns the asyncio server keeps *outside* the per-connection
+handlers:
+
+* :class:`SpecResolver` — builds and caches :class:`SpecBundle`\\ s (the
+  compiled arena/plant systems plus the synthesized strategy) keyed by
+  the canonical ``hello.spec`` description.  Strategy synthesis is the
+  expensive, shareable part of a session; a thousand sessions against
+  the same spec solve the game once and share the per-network semantic
+  cache bundles that come with the shared :class:`~repro.semantics.system.System`
+  objects.
+
+* :class:`SessionRegistry` — admission control.  Every live session
+  accounts the states its spec monitor currently tracks (1 for exact
+  monitors, the symbolic member count for estimated ones, reported live
+  through the :class:`~repro.semantics.compose.StateEstimate` growth
+  hook).  When the *global* state budget or the session cap is
+  exceeded, the least-recently-active other session is evicted — it
+  receives an INCONCLUSIVE verdict frame (eviction is fail-sound: no
+  verdict is invented, the session just ends inconclusive) and its
+  connection closes.  If evictions cannot free enough (one session's
+  own growth blows the whole budget), the *offender* is cut the same
+  way — backpressure, never an abort of the server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..game.cooperative import CooperativeStrategy
+from ..game.solver import TwoPhaseSolver
+from ..game.strategy import Strategy
+from ..semantics.system import System
+from ..tctl.query import parse_query
+from ..util import counters
+from .protocol import ProtocolError
+
+__all__ = ["SessionRegistry", "SpecBundle", "SpecResolver"]
+
+
+@dataclass
+class SpecBundle:
+    """Everything sessions against one spec share (read-only after build)."""
+
+    key: str
+    arena: System
+    plant: System
+    strategy: object  # Strategy | CooperativeStrategy
+    winning: bool
+    query: str
+
+
+def _build_networks(desc: dict):
+    """``hello.spec`` → (arena Network, plant Network, default query)."""
+    if "model" in desc:
+        name = desc["model"]
+        if name == "smartlight":
+            from ..models.smartlight import smartlight_network, smartlight_plant
+
+            return (
+                smartlight_network(),
+                smartlight_plant(),
+                "control: A<> IUT.Bright",
+            )
+        if name == "lep":
+            from ..models.lep import TP1, lep_network, lep_plant
+
+            n = desc.get("n", 3)
+            if not isinstance(n, int) or not 2 <= n <= 8:
+                raise ProtocolError(f"lep size n={n!r} out of range 2..8")
+            return lep_network(n), lep_plant(n), TP1
+        raise ProtocolError(f"unknown model {desc['model']!r}")
+    if "family" in desc or "seed" in desc:
+        from ..gen.networks import generate_instance, mutate_instance
+
+        seed = desc.get("seed")
+        if not isinstance(seed, int):
+            raise ProtocolError(f"spec.seed must be an integer, got {seed!r}")
+        family = desc.get("family")
+        if family is not None and not isinstance(family, str):
+            raise ProtocolError(f"spec.family must be a string, got {family!r}")
+        mutation_seed = desc.get("mutation_seed")
+        try:
+            if mutation_seed is None:
+                instance = generate_instance(seed, family)
+            elif isinstance(mutation_seed, int):
+                instance = mutate_instance(seed, family, mutation_seed)
+            else:
+                raise ProtocolError(
+                    f"spec.mutation_seed must be an integer, got"
+                    f" {mutation_seed!r}"
+                )
+        except ValueError as err:  # unknown family
+            raise ProtocolError(str(err)) from err
+        return instance.arena, instance.plant, instance.query
+    raise ProtocolError(
+        "spec must name a 'model' or a generated 'family'/'seed' instance"
+    )
+
+
+class SpecResolver:
+    """Build-once cache of :class:`SpecBundle` keyed by spec description."""
+
+    def __init__(
+        self,
+        *,
+        time_limit: Optional[float] = None,
+        allow_cooperative: bool = True,
+    ):
+        self.time_limit = time_limit
+        self.allow_cooperative = allow_cooperative
+        self._bundles: Dict[str, SpecBundle] = {}
+        # One lock around synthesis: concurrent builds of the same key
+        # must not race, and CPU-bound solving gains nothing from running
+        # several synthesis threads under the GIL anyway.
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def canonical_key(desc: dict) -> str:
+        try:
+            return json.dumps(desc, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError) as err:
+            raise ProtocolError(f"unserializable spec description: {err}")
+
+    def resolve(self, desc: dict) -> SpecBundle:
+        """The shared bundle for a ``hello.spec`` description (cached).
+
+        Blocking (synthesis!) — the server calls it via a worker thread.
+        """
+        if not isinstance(desc, dict):
+            raise ProtocolError(f"spec must be an object, got {desc!r}")
+        key = self.canonical_key(desc)
+        bundle = self._bundles.get(key)
+        if bundle is not None:
+            counters.inc("server.bundle_hits")
+            return bundle
+        with self._lock:
+            bundle = self._bundles.get(key)
+            if bundle is not None:
+                counters.inc("server.bundle_hits")
+                return bundle
+            counters.inc("server.bundle_builds")
+            arena_net, plant_net, default_query = _build_networks(desc)
+            query = desc.get("query", default_query)
+            if not isinstance(query, str):
+                raise ProtocolError(f"spec.query must be a string: {query!r}")
+            arena = System(arena_net)
+            plant = System(plant_net)
+            result = TwoPhaseSolver(
+                arena, parse_query(query), time_limit=self.time_limit
+            ).solve()
+            if result.winning:
+                strategy: object = Strategy(result)
+            elif self.allow_cooperative:
+                strategy = CooperativeStrategy(result)
+            else:
+                raise ProtocolError(
+                    f"no winning strategy for {query!r} and cooperative"
+                    " fallback disabled"
+                )
+            bundle = SpecBundle(
+                key, arena, plant, strategy, result.winning, query
+            )
+            self._bundles[key] = bundle
+            return bundle
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+
+@dataclass
+class SessionHandle:
+    """One live session's seat in the registry."""
+
+    sid: int
+    #: Called (once) by the registry to cut this session: must deliver
+    #: the closing frame and close the transport, without raising.
+    evict: Callable[[str], None]
+    states: int = 1
+    stamp: int = 0
+    evicted: Optional[str] = None
+
+    def __hash__(self) -> int:
+        return self.sid
+
+
+@dataclass
+class RegistryStats:
+    started: int = 0
+    finished: int = 0
+    evicted: int = 0
+    peak_sessions: int = 0
+    peak_states: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class SessionRegistry:
+    """Admission control: session cap + global symbolic-state budget."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 1024,
+        max_total_states: int = 100_000,
+    ):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if max_total_states < 1:
+            raise ValueError("max_total_states must be >= 1")
+        self.max_sessions = max_sessions
+        self.max_total_states = max_total_states
+        self._sessions: Dict[int, SessionHandle] = {}
+        self._clock = 0
+        self._next_sid = 0
+        self._total_states = 0
+        self.stats = RegistryStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_states(self) -> int:
+        return self._total_states
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def _lru(self, but: SessionHandle) -> Optional[SessionHandle]:
+        victim: Optional[SessionHandle] = None
+        for handle in self._sessions.values():
+            if handle is but:
+                continue
+            if victim is None or handle.stamp < victim.stamp:
+                victim = handle
+        return victim
+
+    def _evict(self, handle: SessionHandle, reason: str) -> None:
+        self._drop(handle)
+        handle.evicted = reason
+        self.stats.evicted += 1
+        counters.inc("server.evictions")
+        handle.evict(reason)
+
+    def _drop(self, handle: SessionHandle) -> None:
+        if self._sessions.pop(handle.sid, None) is not None:
+            self._total_states -= handle.states
+
+    def _enforce_budget(self, current: SessionHandle) -> None:
+        """Evict LRU sessions until the budget holds; offender last."""
+        while self._total_states > self.max_total_states:
+            victim = self._lru(current)
+            if victim is None:
+                # The current session alone blew the global budget:
+                # backpressure lands on the offender.
+                self._evict(
+                    current,
+                    f"global state budget exceeded"
+                    f" ({self._total_states + current.states - current.states}"
+                    f" > {self.max_total_states} tracked states)",
+                )
+                return
+            self._evict(
+                victim,
+                f"evicted (LRU) under global state budget"
+                f" ({self.max_total_states} tracked states)",
+            )
+
+    # ------------------------------------------------------------------
+
+    def admit(self, evict: Callable[[str], None]) -> SessionHandle:
+        """Seat a new session, evicting the LRU one if the cap is hit."""
+        self._clock += 1
+        self._next_sid += 1
+        handle = SessionHandle(self._next_sid, evict, states=1, stamp=self._clock)
+        while len(self._sessions) >= self.max_sessions:
+            victim = self._lru(handle)
+            if victim is None:  # max_sessions >= 1, so only when empty
+                break
+            self._evict(
+                victim,
+                f"evicted (LRU) under session cap ({self.max_sessions})",
+            )
+        self._sessions[handle.sid] = handle
+        self._total_states += handle.states
+        self.stats.started += 1
+        self.stats.peak_sessions = max(
+            self.stats.peak_sessions, len(self._sessions)
+        )
+        self._enforce_budget(handle)
+        return handle
+
+    def touch(self, handle: SessionHandle, states: int) -> None:
+        """Refresh recency + per-session state usage; enforce the budget."""
+        if handle.sid not in self._sessions:
+            return  # already evicted or released
+        self._clock += 1
+        handle.stamp = self._clock
+        self._total_states += states - handle.states
+        handle.states = states
+        self.stats.peak_states = max(self.stats.peak_states, self._total_states)
+        self._enforce_budget(handle)
+
+    def release(self, handle: SessionHandle) -> None:
+        """A session finished normally (or its connection dropped)."""
+        if handle.sid in self._sessions:
+            self._drop(handle)
+            self.stats.finished += 1

@@ -1,4 +1,11 @@
-"""Strategy-based conformance testing: tioco monitor, executor, IMPs."""
+"""Strategy-based conformance testing: tioco monitor, session, drivers.
+
+The core is the sans-IO :class:`TestSession` (strategy decisions, spec
+monitoring, verdicts), configured by one :class:`SessionConfig` value;
+:class:`TestExecutor` / :func:`execute_test` drive it in-process against
+a :class:`SimulatedImplementation`, the asyncio server (:mod:`repro.server`)
+drives it over sockets.
+"""
 
 from .campaign import (
     DEFAULT_POLICIES,
@@ -23,6 +30,15 @@ from .implementation import (
 )
 from .replay import ReplayResult, parse_trace, replay_trace
 from .rtioco import RelativizedMonitor, RtiocoMonitor
+from .session import (
+    Finish,
+    SendInput,
+    SessionConfig,
+    SessionProtocolError,
+    TestSession,
+    Wait,
+    resolve_session_config,
+)
 from .tioco import Quiescence, SpecNondeterminism, TiocoMonitor
 from .trace import (
     FAIL,
@@ -33,3 +49,48 @@ from .trace import (
     TestRun,
     TimedTrace,
 )
+
+__all__ = [
+    "ActionStep",
+    "CampaignReport",
+    "DEFAULT_POLICIES",
+    "DelayStep",
+    "EagerPolicy",
+    "FAIL",
+    "Finish",
+    "INCONCLUSIVE",
+    "LazyPolicy",
+    "Mutant",
+    "MutantOutcome",
+    "MutantSpec",
+    "MutationCampaign",
+    "MutationReport",
+    "OutputPolicy",
+    "PASS",
+    "PurposeOutcome",
+    "Quiescence",
+    "QuiescentPolicy",
+    "RandomPolicy",
+    "RelativizedMonitor",
+    "ReplayResult",
+    "RtiocoMonitor",
+    "ScheduledOutput",
+    "SendInput",
+    "SessionConfig",
+    "SessionProtocolError",
+    "SimulatedImplementation",
+    "SpecNondeterminism",
+    "TestCampaign",
+    "TestExecutionError",
+    "TestExecutor",
+    "TestRun",
+    "TestSession",
+    "TimedTrace",
+    "TiocoMonitor",
+    "Wait",
+    "execute_test",
+    "make_policy",
+    "parse_trace",
+    "replay_trace",
+    "resolve_session_config",
+]

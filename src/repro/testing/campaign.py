@@ -50,6 +50,7 @@ from .implementation import (
     SimulatedImplementation,
 )
 from .mutants import MutantSpec
+from .session import SessionConfig, resolve_session_config
 from .trace import FAIL, INCONCLUSIVE, PASS, TestRun
 
 
@@ -166,17 +167,25 @@ class TestCampaign:
         self,
         implementation_factory: Callable[[], SimulatedImplementation],
         *,
-        repetitions: int = 1,
-        max_iterations: int = 10_000,
-        max_states: int = 256,
+        config: Optional[SessionConfig] = None,
+        repetitions: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        max_states: Optional[int] = None,
     ) -> CampaignReport:
         """Test one implementation against every purpose.
 
         ``implementation_factory`` builds a *fresh* implementation per run
-        (runs must not leak state into each other).  ``max_states`` is
-        the spec monitor's symbolic state-set budget (hidden-sync plants
-        only); raise it to trade INCONCLUSIVE budget verdicts for work.
+        (runs must not leak state into each other).  Session knobs (the
+        monitor's ``max_states`` budget, the iteration budget, the number
+        of repetitions per purpose) ride in ``config``; the bare keyword
+        forms are deprecated shims.
         """
+        config = resolve_session_config(
+            config,
+            repetitions=repetitions,
+            max_iterations=max_iterations,
+            max_states=max_states,
+        )
         outcomes = []
         for query in self.queries:
             strategy = self.strategy_for(query)
@@ -187,14 +196,10 @@ class TestCampaign:
                 getattr(strategy, "size", 0) if strategy is not None else 0,
             )
             if strategy is not None:
-                for _ in range(repetitions):
+                for _ in range(config.repetitions):
                     imp = implementation_factory()
                     outcome.runs.append(
-                        execute_test(
-                            strategy, self.plant, imp,
-                            max_iterations=max_iterations,
-                            max_states=max_states,
-                        )
+                        execute_test(strategy, self.plant, imp, config=config)
                     )
             outcomes.append(outcome)
         return CampaignReport(outcomes)
@@ -319,10 +324,7 @@ def _detect_one(
     time_limit: Optional[float],
     allow_cooperative: bool,
     spec: MutantSpec,
-    policies: Tuple[str, ...],
-    repetitions: int,
-    max_iterations: int,
-    max_states: int = 256,
+    config: SessionConfig,
 ) -> MutantOutcome:
     """One mutant's sweep (module-level: the pool's unit of work)."""
     campaign = _cached_campaign(
@@ -330,16 +332,16 @@ def _detect_one(
     )
     mutant = spec.build(plant_factory())
     mutant_system = System(mutant.network)
+    policies = config.policies or DEFAULT_POLICIES
     for query in campaign.queries:
         strategy = campaign.strategy_for(query)
         if strategy is None:
             continue
         for policy in policies:
-            for _ in range(repetitions):
+            for _ in range(config.repetitions):
                 imp = SimulatedImplementation(mutant_system, make_policy(policy))
                 run = execute_test(
-                    strategy, campaign.plant, imp,
-                    max_iterations=max_iterations, max_states=max_states,
+                    strategy, campaign.plant, imp, config=config
                 )
                 if run.failed:
                     return MutantOutcome(
@@ -386,12 +388,20 @@ class MutationCampaign:
         self,
         spec: MutantSpec,
         *,
-        policies: Sequence[str] = DEFAULT_POLICIES,
-        repetitions: int = 1,
-        max_iterations: int = 10_000,
-        max_states: int = 256,
+        config: Optional[SessionConfig] = None,
+        policies: Optional[Sequence[str]] = None,
+        repetitions: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        max_states: Optional[int] = None,
     ) -> MutantOutcome:
         """One mutant's sweep, in-process."""
+        config = resolve_session_config(
+            config,
+            policies=policies,
+            repetitions=repetitions,
+            max_iterations=max_iterations,
+            max_states=max_states,
+        )
         return _detect_one(
             self.arena_factory,
             self.plant_factory,
@@ -399,10 +409,7 @@ class MutationCampaign:
             self.time_limit,
             self.allow_cooperative,
             spec,
-            tuple(policies),
-            repetitions,
-            max_iterations,
-            max_states,
+            config,
         )
 
     def run(
@@ -410,10 +417,11 @@ class MutationCampaign:
         specs: Sequence[MutantSpec],
         *,
         jobs: int = 1,
-        policies: Sequence[str] = DEFAULT_POLICIES,
-        repetitions: int = 1,
-        max_iterations: int = 10_000,
-        max_states: int = 256,
+        config: Optional[SessionConfig] = None,
+        policies: Optional[Sequence[str]] = None,
+        repetitions: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        max_states: Optional[int] = None,
     ) -> MutationReport:
         """Sweep every mutant, sharded over ``jobs`` worker processes.
 
@@ -422,8 +430,17 @@ class MutationCampaign:
         single-task dispatch keeps the pool busy where chunking would
         straggle.  The per-process strategy cache still amortizes
         synthesis — every worker solves each purpose at most once,
-        whichever mutants it happens to steal.
+        whichever mutants it happens to steal.  Session knobs (policy
+        sweep, repetitions, budgets) ride in the picklable ``config``;
+        the bare keyword forms are deprecated shims.
         """
+        config = resolve_session_config(
+            config,
+            policies=policies,
+            repetitions=repetitions,
+            max_iterations=max_iterations,
+            max_states=max_states,
+        )
         tasks = [
             (
                 self.arena_factory,
@@ -432,10 +449,7 @@ class MutationCampaign:
                 self.time_limit,
                 self.allow_cooperative,
                 spec,
-                tuple(policies),
-                repetitions,
-                max_iterations,
-                max_states,
+                config,
             )
             for spec in specs
         ]

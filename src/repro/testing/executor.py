@@ -1,61 +1,51 @@
-"""Test execution with winning strategies — the paper's Algorithm 3.1.
+"""In-process test execution — the synchronous driver over TestSession.
 
-The executor drives a black-box implementation with a winning strategy,
-incrementally building a timed trace σ:
+The tester logic of the paper's Algorithm 3.1 (strategy decisions, spec
+monitoring, verdicts) lives in the transport-agnostic
+:class:`~repro.testing.session.TestSession`; this module binds it to a
+:class:`~repro.testing.implementation.SimulatedImplementation` with a
+plain synchronous loop:
 
-* consult the strategy at the current (composed spec) state;
-* ``input i``  → send ``i`` to the implementation, σ := σ·i;
-* ``delay d``  → wait; if an output ``o`` occurs at ``d' <= d``, check
-  ``o ∈ Out(s0 After σ·d')`` via the tioco monitor — **fail** otherwise —
-  and σ := σ·d'·o; else σ := σ·d;
-* when σ reaches a goal state, **pass**.
+* :class:`~repro.testing.session.SendInput` → ``imp.give_input``;
+* :class:`~repro.testing.session.Wait` → consult ``imp.next_output``:
+  an output due within the deadline becomes ``on_output``, an internal
+  step or a quiet deadline becomes ``on_elapsed``;
+* :class:`~repro.testing.session.Finish` → the :class:`TestRun`.
 
-Deviations from the listing are bookkeeping only: the tester additionally
-tracks the composed (plant ∥ environment) state the strategy is defined
-over, and quiescence violations (the spec forcing an output the
-implementation never produced) are detected by bounding every wait with
-the spec's maximal quiescence.
+The asyncio network server (:mod:`repro.server`) is the other driver
+over the same session core — verdicts agree by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Optional
 
-from ..game.strategy import Strategy, Verdictish
-from ..semantics.compose import EstimateLimit
-from ..semantics.state import ConcreteState
-from ..semantics.system import Move, System
+from ..game.strategy import Strategy
+from ..semantics.system import System
 from .implementation import SimulatedImplementation
-from .tioco import TiocoMonitor
-from .trace import FAIL, INCONCLUSIVE, PASS, TestRun, TimedTrace
+from .session import (
+    Finish,
+    SendInput,
+    SessionConfig,
+    TestExecutionError,
+    TestSession,
+    Wait,
+    resolve_session_config,
+)
+from .trace import TestRun
 
-
-class TestExecutionError(RuntimeError):
-    """Internal inconsistency during test execution (not a verdict)."""
+__all__ = ["TestExecutionError", "TestExecutor", "execute_test"]
 
 
 @dataclass
 class TestExecutor:
     """Binds together strategy, spec monitor, and implementation.
 
-    The strategy is defined over the *composed* specification (plant ∥
-    environment); only moves that involve a plant automaton cross the test
-    interface.  Environment-internal controllable moves (e.g. the LEP
-    controller instructing its chaotic network) merely update the tester's
-    own state.  Value-passing inputs carry the emitting environment edge's
-    shared-variable updates to the implementation and the monitor (the
-    UPPAAL idiom for parameterized actions).
-
-    Composed (multi-automaton) plants are driven through the partial
-    semantics: the spec monitor auto-selects symbolic state-set tracking
-    when the plant internalises synchronizations, and the simulated
-    implementation runs hidden syncs as internal steps.  The strategy's
-    *own* state tracking stays exact over the closed arena; when the
-    arena hides timed syncs from the tester, a strategy may lose track of
-    the plant and return INCONCLUSIVE — never an unsound verdict, since
-    PASS needs the goal and FAIL needs a (sound) monitor violation.
+    A thin synchronous driver over :class:`TestSession`; see the session
+    module for the semantics.  ``max_iterations`` / ``max_states`` are
+    the legacy knob surface — prefer ``config=SessionConfig(...)``,
+    which wins when provided.
     """
 
     strategy: Strategy
@@ -66,269 +56,46 @@ class TestExecutor:
     #: only); exceeding it yields INCONCLUSIVE, never a crash.  Deep
     #: campaigns raise it instead of eating budget-skips.
     max_states: int = 256
+    config: Optional[SessionConfig] = None
 
-    @property
-    def _plant_names(self):
-        return {a.name for a in self.spec_plant.automata}
-
-    def _involves_plant(self, move: Move) -> bool:
-        composed = self.strategy.system
-        return any(
-            composed.automata[a_idx].name in self._plant_names
-            for a_idx, _ in move.edges
-        )
-
-    def _plant_var_updates(self, tester: ConcreteState, move: Move):
-        """Shared-variable effects of the move's environment-side edges.
-
-        Returns ``[(name, index_or_None, value)]`` restricted to variables
-        that exist (by name) in the plant specification.
-        """
-        from ..expr.eval import apply_assignments
-
-        composed = self.strategy.system
-        state = tester.vars
-        for a_idx, edge in move.edges:
-            if composed.automata[a_idx].name in self._plant_names:
-                continue
-            if edge.int_assigns:
-                state = apply_assignments(edge.int_assigns, composed.ctx(state))
-        updates = []
-        plant_decls = self.spec_plant.decls
-        for name, var in composed.decls.int_vars.items():
-            if name not in plant_decls.int_vars:
-                continue
-            if state[var.slot] != tester.vars[var.slot]:
-                updates.append((name, None, state[var.slot]))
-        for name, arr in composed.decls.arrays.items():
-            if name not in plant_decls.arrays:
-                continue
-            for k in range(arr.size):
-                if state[arr.offset + k] != tester.vars[arr.offset + k]:
-                    updates.append((name, k, state[arr.offset + k]))
-        return updates
+    def session(self) -> TestSession:
+        """A fresh session over this executor's strategy and spec."""
+        config = self.config
+        if config is None:
+            config = SessionConfig(
+                max_iterations=self.max_iterations,
+                max_states=self.max_states,
+            )
+        return TestSession(self.strategy, self.spec_plant, config)
 
     def run(self) -> TestRun:
-        strategy = self.strategy
-        composed = strategy.system
+        session = self.session()
         imp = self.implementation
         imp.reset()
-        tester = self._settle_tau(composed, composed.initial_concrete())
-        trace = TimedTrace()
-        try:
-            # Monitor construction may already run a hidden-move closure.
-            monitor = TiocoMonitor(self.spec_plant, max_states=self.max_states)
-            return self._run_loop(strategy, monitor, imp, tester, trace)
-        except EstimateLimit as limit:
-            # The composed spec's hidden-move closure blew its budget:
-            # no verdict either way, never a crash.
-            return TestRun(
-                INCONCLUSIVE, trace, f"state-estimate budget: {limit}", 0
-            )
-
-    def _run_loop(self, strategy, monitor, imp, tester, trace) -> TestRun:
-        for iteration in range(1, self.max_iterations + 1):
-            decision = strategy.decide(tester)
-            if decision.kind == Verdictish.DONE:
-                return TestRun(PASS, trace, "goal state reached", iteration)
-            if decision.kind == Verdictish.LOST:
-                return TestRun(
-                    INCONCLUSIVE,
-                    trace,
-                    "tester state left the winning region (internal error)",
-                    iteration,
-                )
-            if decision.kind == Verdictish.FIRE:
-                result = self._fire(decision.move, monitor, imp, tester, trace)
-                if isinstance(result, TestRun):
-                    return result
-                tester = result
+        action = session.start()
+        while not isinstance(action, Finish):
+            if isinstance(action, SendInput):
+                accepted = imp.give_input(action.label, list(action.updates))
+                action = session.on_input_result(accepted)
                 continue
-            # WAIT: decision.delay is the strategy's next scheduled action
-            # time; None means "wait for the plant" (forced-output region).
-            result = self._wait(decision.delay, monitor, imp, tester, trace)
-            if isinstance(result, TestRun):
-                return result
-            tester = result
-        return TestRun(
-            INCONCLUSIVE, trace, "iteration budget exhausted", self.max_iterations
-        )
-
-    # ------------------------------------------------------------------
-
-    def _fire(
-        self,
-        move: Move,
-        monitor: TiocoMonitor,
-        imp: SimulatedImplementation,
-        tester: ConcreteState,
-        trace: TimedTrace,
-    ):
-        composed = self.strategy.system
-        label = move.label
-        if not self._involves_plant(move):
-            # Environment-internal controllable move: invisible at the
-            # plant interface; only the tester's own state changes.
-            nxt = composed.fire(tester, move)
-            if nxt is None:
-                raise TestExecutionError(
-                    f"strategy fired disabled env move {label} at {tester}"
-                )
-            return self._settle_tau(composed, nxt)
-        updates = self._plant_var_updates(tester, move)
-        if not imp.give_input(label, updates):
-            trace.add_action(label, "input")
-            return TestRun(
-                FAIL,
-                trace,
-                f"implementation refused input {label}?"
-                f" (violates input-enabledness)",
-            )
-        trace.add_action(label, "input")
-        if not monitor.observe(label, "input", updates):
-            # The spec refusing its own strategy's input is a tracking
-            # contradiction, not an IUT violation (the IUT accepted it).
-            return self._tracking_fail(
-                trace, monitor.violation or "spec refused input"
-            )
-        nxt = composed.fire(tester, move)
-        if nxt is None:
-            raise TestExecutionError(
-                f"strategy fired disabled move {label} at {tester}"
-            )
-        return self._settle_tau(composed, nxt)
-
-    def _wait(
-        self,
-        scheduled: Optional[Fraction],
-        monitor: TiocoMonitor,
-        imp: SimulatedImplementation,
-        tester: ConcreteState,
-        trace: TimedTrace,
-    ):
-        composed = self.strategy.system
-        quiescence = monitor.max_quiescence()
-        # How long the tester is prepared to wait this round: either until
-        # its next scheduled action, or (waiting for the plant) just past
-        # the instant the spec forces an output.
-        if scheduled is not None:
-            wait_for = scheduled
-        elif quiescence.bound is not None:
-            wait_for = quiescence.bound + Fraction(1, 2)
-        else:
-            return TestRun(
-                INCONCLUSIVE,
-                trace,
-                "strategy waits forever and spec never forces an output",
-            )
-
-        pending = imp.next_output()
-        if pending is not None and pending.delay <= wait_for:
-            # The implementation acts first (or simultaneously).
-            d = pending.delay
-            label = imp.advance(d)
-            trace.add_delay(d)
-            if not monitor.advance(d):
-                return TestRun(FAIL, trace, monitor.violation or "quiescence")
-            new_tester = self._delay_tester(composed, tester, d)
-            if label is None:
-                # Internal move of the implementation: nothing observed.
-                return new_tester if new_tester is not None else self._tracking_fail(
-                    trace, "tester time left the spec invariant"
-                )
-            trace.add_action(label, "output")
-            if not monitor.observe(label, "output"):
-                return TestRun(FAIL, trace, monitor.violation or "bad output")
-            if new_tester is None:
-                return self._tracking_fail(
-                    trace, "tester time left the spec invariant"
-                )
-            next_tester = self._tester_output(composed, new_tester, label)
-            if next_tester is None:
-                return self._tracking_fail(
-                    trace, f"output {label}! not accepted by composed spec state"
-                )
-            return next_tester
-
-        # Quiet until the tester's own schedule.
-        imp.advance(wait_for)
-        trace.add_delay(wait_for)
-        if not monitor.advance(wait_for):
-            return TestRun(FAIL, trace, monitor.violation or "quiescence violation")
-        new_tester = self._delay_tester(composed, tester, wait_for)
-        if new_tester is None:
-            return self._tracking_fail(
-                trace, "tester time left the spec invariant"
-            )
-        return new_tester
-
-    def _tracking_fail(self, trace: TimedTrace, reason: str) -> TestRun:
-        """A failure of the *tester's own* composed-state tracking.
-
-        With a fully observable plant this is a genuine FAIL (the monitor
-        checks passed, so the contradiction lies with the implementation).
-        When the plant *runs under the partial semantics* (interface
-        declared) and hides syncs, the tester's exact arena state may
-        simply be stale — hidden moves fired at times it cannot know — so
-        the only sound verdict is INCONCLUSIVE: FAIL must come from the
-        (set-tracking, hence sound) conformance monitor alone.  The guard
-        mirrors the monitors' own mode selection: an undeclared network
-        is driven in exact open mode, where tracking failures stay FAIL.
-        """
-        if (
-            self.spec_plant.network.interface_declared
-            and self.spec_plant.partial_hides_syncs()
-        ):
-            return TestRun(
-                INCONCLUSIVE,
-                trace,
-                f"tester lost track of the hidden-sync plant ({reason})",
-            )
-        return TestRun(FAIL, trace, reason)
-
-    @staticmethod
-    def _settle_tau(composed: System, state: ConcreteState) -> ConcreteState:
-        """Resolve committed internal processing in the composed spec."""
-        from fractions import Fraction as F
-
-        for _ in range(64):
-            if composed.can_delay(state.locs):
-                return state
-            fired = False
-            for move in composed.moves_from(state.locs, state.vars):
-                if move.direction != "internal":
-                    continue
-                interval = composed.enabled_interval(state, move)
-                if interval is None or not interval.contains(F(0)):
-                    continue
-                nxt = composed.fire(state, move)
-                if nxt is not None:
-                    state = nxt
-                    fired = True
-                    break
-            if not fired:
-                return state
-        raise TestExecutionError("internal-move settling did not converge")
-
-    @classmethod
-    def _delay_tester(
-        cls, composed: System, tester: ConcreteState, d: Fraction
-    ) -> Optional[ConcreteState]:
-        if not composed.delay_ok(tester, d):
-            return None
-        return tester.delayed(d)
-
-    @classmethod
-    def _tester_output(
-        cls, composed: System, tester: ConcreteState, label: str
-    ) -> Optional[ConcreteState]:
-        for move in composed.moves_from(tester.locs, tester.vars):
-            if move.label != label or move.direction != "output":
+            assert isinstance(action, Wait)
+            pending = imp.next_output()
+            if pending is not None and pending.delay <= action.deadline:
+                # The implementation acts first (or simultaneously).
+                d = pending.delay
+                label = imp.advance(d)
+                if label is None:
+                    # Internal move of the implementation: nothing
+                    # observed, but the elapsed time re-enters the
+                    # strategy.
+                    action = session.on_elapsed(d)
+                else:
+                    action = session.on_output(d, label)
                 continue
-            nxt = composed.fire(tester, move)
-            if nxt is not None:
-                return cls._settle_tau(composed, nxt)
-        return None
+            # Quiet until the tester's own schedule.
+            imp.advance(action.deadline)
+            action = session.on_elapsed(action.deadline)
+        return action.run
 
 
 def execute_test(
@@ -336,11 +103,19 @@ def execute_test(
     spec_plant: System,
     implementation: SimulatedImplementation,
     *,
-    max_iterations: int = 10_000,
-    max_states: int = 256,
+    config: Optional[SessionConfig] = None,
+    max_iterations: Optional[int] = None,
+    max_states: Optional[int] = None,
 ) -> TestRun:
-    """One-shot convenience wrapper around :class:`TestExecutor`."""
+    """One-shot convenience wrapper around :class:`TestExecutor`.
+
+    ``max_iterations`` / ``max_states`` are deprecated — pass
+    ``config=SessionConfig(...)``.
+    """
+    resolved = resolve_session_config(
+        config, max_iterations=max_iterations, max_states=max_states
+    )
     executor = TestExecutor(
-        strategy, spec_plant, implementation, max_iterations, max_states
+        strategy, spec_plant, implementation, config=resolved
     )
     return executor.run()

@@ -116,6 +116,23 @@ class SpecMonitorBase:
         return self._estimate is not None
 
     @property
+    def state_count(self) -> int:
+        """States currently tracked for ``After σ`` (1 when exact).
+
+        The unit the test server's global state budget is accounted in:
+        exact monitors pin one concrete state, estimated monitors as many
+        symbolic members as the hidden-move closure currently retains.
+        """
+        if self._estimate is not None:
+            return self._estimate.size
+        return 1
+
+    @property
+    def estimate(self) -> Optional[StateEstimate]:
+        """The symbolic tracker, when estimated (hook installation)."""
+        return self._estimate
+
+    @property
     def ok(self) -> bool:
         return self.violation is None
 

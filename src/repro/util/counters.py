@@ -28,7 +28,8 @@ and associative, so the aggregate is independent of worker scheduling.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Union
 
 _COUNTS: Dict[str, int] = {}
 _STATS: Dict[str, list] = {}  # name -> [count, total, max]
@@ -115,6 +116,29 @@ def diff(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, int]:
         if total - b_total:
             out[f"{name}.sum"] = total - b_total
     return out
+
+
+@contextmanager
+def capture(into: Dict[str, int]) -> Iterator[Dict[str, int]]:
+    """Accumulate the block's counter deltas into ``into`` (flattened).
+
+    The scoping primitive for work units that *share one process*: the
+    asyncio test server interleaves many sessions on one event loop, so
+    per-session op profiles cannot come from :func:`reset` the way the
+    worker pool's per-task profiles do.  Instead every synchronous slice
+    of a session's work runs under ``capture(session.ops)``, and the
+    deltas (computed exactly like :func:`diff`) fold into that session's
+    own dict.  The block must not yield to other sessions' work (no
+    ``await`` inside), or their ops leak into this scope; both the server
+    and the in-process drivers only do synchronous work per step, so the
+    invariant is structural.
+    """
+    before = export()
+    try:
+        yield into
+    finally:
+        for name, delta in diff(before, export()).items():
+            into[name] = into.get(name, 0) + delta
 
 
 def snapshot() -> Dict[str, Union[int, Dict[str, float]]]:

@@ -512,3 +512,57 @@ class TestEstimateBudgetPlumbing:
                 assert check_estimate(instance, roomy).status == "ok"
                 return
         pytest.fail("no chain seed tripped the max_estimate_states=1 budget")
+
+
+# ----------------------------------------------------------------------
+# Merging corpora (python -m repro.corpus --merge-into)
+# ----------------------------------------------------------------------
+
+
+class TestMergeCorpora:
+    def test_union_first_writer_wins(self, tmp_path):
+        from repro.corpus import merge_corpora
+
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        dest = tmp_path / "dest"
+        Corpus(str(a)).add(make_entry("h1", 1, signature="sig-a"))
+        Corpus(str(a)).add(make_entry("h2", 2, signature="sig-b"))
+        # b disagrees about h2 (different seed) and brings h3
+        Corpus(str(b)).add(make_entry("h2", 99, signature="sig-x"))
+        Corpus(str(b)).add(make_entry("h3", 3, signature="sig-c"))
+
+        stats = merge_corpora(str(dest), [str(a), str(b)])
+        assert stats.added == 3
+        assert stats.duplicates == 1  # b's h2 lost to a's
+        merged = {e.structural_hash: e for e in Corpus(str(dest))}
+        assert set(merged) == {"h1", "h2", "h3"}
+        assert merged["h2"].seed == 2  # earliest source in order won
+
+    def test_merge_is_idempotent(self, tmp_path):
+        from repro.corpus import merge_corpora
+
+        src = tmp_path / "src"
+        dest = tmp_path / "dest"
+        for i in range(4):
+            Corpus(str(src)).add(make_entry(f"h{i}", i))
+        first = merge_corpora(str(dest), [str(src)])
+        again = merge_corpora(str(dest), [str(src)])
+        assert first.added == 4
+        assert again.added == 0 and again.duplicates == 4
+
+    def test_cli_merge_into(self, tmp_path, capsys):
+        from repro.corpus.__main__ import main
+
+        src1 = tmp_path / "s1"
+        src2 = tmp_path / "s2"
+        dest = tmp_path / "merged"
+        Corpus(str(src1)).add(make_entry("h1", 1))
+        Corpus(str(src2)).add(make_entry("h1", 9))  # duplicate hash
+        Corpus(str(src2)).add(make_entry("h2", 2))
+        rc = main(["--merge-into", str(dest), str(src1), str(src2)])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["added"] == 2
+        assert out["duplicates"] == 1
+        assert out["dest_stats"]["entries"] == 2
