@@ -27,6 +27,36 @@ def load_medians(path: str) -> Dict[str, float]:
     return {b["name"]: b["stats"]["median"] for b in data.get("benchmarks", [])}
 
 
+def load_extra_info(path: str) -> Dict[str, dict]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        b["name"]: b.get("extra_info") or {}
+        for b in data.get("benchmarks", [])
+    }
+
+
+def _no_baseline_table(cur: Dict[str, float], reason: str) -> None:
+    """Explicit current-only table when there is nothing to compare to.
+
+    A first run on a branch, an expired artifact, or an empty baseline
+    file all land here; rendering the current medians (instead of one
+    silent "skipping" line) keeps the job summary useful and makes the
+    missing baseline impossible to miss.
+    """
+    print("## Benchmark delta: no baseline")
+    print()
+    print(f"{reason} — current run only, no comparison.")
+    print()
+    if not cur:
+        print("(current run contains no benchmarks either)")
+        return
+    print("| benchmark | current (ms) | baseline |")
+    print("|---|---:|---|")
+    for name in sorted(cur):
+        print(f"| `{name}` | {cur[name] * 1000:.2f} | _none_ |")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("previous", help="baseline benchmark JSON")
@@ -40,15 +70,24 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        prev = load_medians(args.previous)
         cur = load_medians(args.current)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"bench-delta: could not load inputs ({exc}); skipping")
+        print(f"bench-delta: could not load current run ({exc}); skipping")
+        return 0
+    try:
+        prev = load_medians(args.previous)
+    except (OSError, ValueError, KeyError) as exc:
+        _no_baseline_table(cur, f"baseline unreadable ({exc})")
         return 0
 
     shared = sorted(set(prev) & set(cur))
     if not shared:
-        print("bench-delta: no overlapping benchmarks; skipping")
+        reason = (
+            "baseline file contains no benchmarks"
+            if not prev
+            else "no overlapping benchmarks with the baseline"
+        )
+        _no_baseline_table(cur, reason)
         return 0
 
     rows = []
@@ -89,6 +128,31 @@ def main(argv=None) -> int:
         )
     else:
         print("No regressions beyond the threshold.")
+
+    # Win-set cache effectiveness, when the run recorded it (the warm
+    # benchmarks attach the solver.warm_* counters as extra_info).
+    try:
+        extras = load_extra_info(args.current)
+    except (OSError, ValueError, KeyError):
+        extras = {}
+    warm_rows = [
+        (name, {k: v for k, v in sorted(info.items())
+                if k.startswith("solver.warm_")})
+        for name, info in sorted(extras.items())
+    ]
+    warm_rows = [(name, info) for name, info in warm_rows if info]
+    if warm_rows:
+        print()
+        print("### Warm-cache counters (current run)")
+        print()
+        print("| benchmark | counters |")
+        print("|---|---|")
+        for name, info in warm_rows:
+            cells = ", ".join(
+                f"{key.split('solver.', 1)[1]}={value}"
+                for key, value in info.items()
+            )
+            print(f"| `{name}` | {cells} |")
     return 0
 
 

@@ -11,17 +11,30 @@ The qualitative expectations asserted:
 * no conforming implementation (including refinements) is ever flagged —
   test soundness in aggregate;
 * off-path faults may survive (that is the price of *targeted* testing).
+
+The ``test_bench_warm_*`` half measures what mutation campaigns spend
+most of their time on: re-synthesizing the *same* spec over and over
+(every mutant is tested against the unchanged arena strategy; every
+campaign re-run starts from scratch).  With the win-set cache of
+:mod:`repro.game.warm` the repeat solves collapse to a cache lookup;
+``REPRO_WARM_OFF=1`` records the pre-PR cold path on identical code
+(the knob the committed ``BENCH_pre_pr8`` baseline used).  The
+execution benchmarks above double as untouched controls for that pair.
 """
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
 import pytest
 
-from repro.game import Strategy, solve_reachability_game
+from repro.game import Strategy, solve_reachability_game, warm_solve
+from repro.game.warm import WinSetCache
+from repro.models.lep import TP1, lep_network
 from repro.models.smartlight import smartlight_network, smartlight_plant
 from repro.semantics.system import System
 from repro.tctl import parse_query
+from repro.util import counters
 from repro.testing import (
     EagerPolicy,
     LazyPolicy,
@@ -159,7 +172,7 @@ def test_mutation_detection_speed(benchmark, strategy, spec_plant):
     """Time the full pool × policies sweep (the Ext-A experiment)."""
     mutants = mutant_pool()
     outcomes = benchmark.pedantic(
-        kill_rate, args=(strategy, spec_plant, mutants), rounds=1, iterations=1
+        kill_rate, args=(strategy, spec_plant, mutants), rounds=3, iterations=1
     )
     assert sum(outcomes.values()) >= 4
 
@@ -177,3 +190,100 @@ def test_single_execution_speed(benchmark, strategy, spec_plant,
 
     run_result = benchmark(run)
     assert run_result.verdict == PASS
+
+
+# ---------------------------------------------------------------------------
+# Warm-start synthesis: the campaign-dominating cost under the cache
+# ---------------------------------------------------------------------------
+
+def _warm_specs():
+    """The spec pool a campaign keeps re-solving: models + generated."""
+    from repro.gen.networks import generate_instance
+
+    specs = [
+        ("smartlight", System(smartlight_network()),
+         parse_query("control: A<> IUT.Bright")),
+        ("lep2", System(lep_network(2)), parse_query(TP1)),
+        ("lep3", System(lep_network(3)), parse_query(TP1)),
+    ]
+    for family, seed in (("clientserver", 7), ("ring", 7), ("chain", 7)):
+        instance = generate_instance(seed, family)
+        specs.append((f"{family}{seed}", System(instance.arena),
+                      parse_query(instance.query)))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def warm_pool(tmp_path_factory):
+    """A shared, pre-populated win-set cache plus the spec pool.
+
+    Populating here mirrors a campaign's first pass; the benchmarks then
+    measure the steady state (every later mutant/policy/session pays
+    this price per spec).  Under ``REPRO_WARM_OFF=1`` the populate is a
+    plain cold solve and every benchmark round re-solves cold — exactly
+    the pre-cache behaviour, on identical code.
+    """
+    cache = WinSetCache(str(tmp_path_factory.mktemp("warm-cache")))
+    specs = _warm_specs()
+    for _, system, query in specs:
+        warm_solve(system, query, cache=cache)
+    return cache, specs
+
+
+def _attach_warm_counters(benchmark):
+    snap = counters.snapshot()
+    for key in sorted(snap):
+        if key.startswith("solver.warm_"):
+            benchmark.extra_info[key] = snap[key]
+
+
+@pytest.mark.parametrize(
+    "spec_name",
+    ["smartlight", "lep2", "lep3", "clientserver7", "ring7", "chain7"],
+)
+def test_bench_warm_spec_synthesis(benchmark, warm_pool, spec_name):
+    """Repeat synthesis of one spec (the per-mutant fixed cost)."""
+    cache, specs = warm_pool
+    system, query = next(
+        (s, q) for name, s, q in specs if name == spec_name
+    )
+
+    result = benchmark(lambda: warm_solve(system, query, cache=cache))
+    assert result.steps >= 0
+    _attach_warm_counters(benchmark)
+
+
+def test_bench_warm_campaign_sweep(benchmark, warm_pool):
+    """One campaign pass over the whole spec pool (re-run steady state)."""
+    cache, specs = warm_pool
+
+    def run():
+        solved = 0
+        for _, system, query in specs:
+            warm_solve(system, query, cache=cache)
+            solved += 1
+        return solved
+
+    assert benchmark(run) == len(specs)
+    _attach_warm_counters(benchmark)
+
+
+def test_warm_cross_process_restore(warm_pool):
+    """A fresh cache object over the shared directory restores from disk.
+
+    Models a new worker process joining a machine-wide cache: the memo
+    is empty, so the disk-restore path (graph exploration + win-set
+    install) runs — no cold re-solve.  Kept as a plain correctness
+    check, not a benchmark: the restore is explore-bound (~2x, within
+    this runner's noise band), so timing it would only add noise to the
+    committed before/after pair.
+    """
+    cache, specs = warm_pool
+    if os.environ.get("REPRO_WARM_OFF"):
+        pytest.skip("warm cache disabled via REPRO_WARM_OFF")
+    name, system, query = specs[0]
+    baseline = warm_solve(system, query, cache=cache)
+    fresh = WinSetCache(cache.directory)
+    restored = warm_solve(system, query, cache=fresh)
+    assert restored.winning == baseline.winning
+    assert restored.steps == baseline.steps

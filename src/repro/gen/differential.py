@@ -117,6 +117,14 @@ class DiffConfig:
     #: Deep-fuzz raises it (CLI ``--max-estimate-states``) to turn
     #: budget SKIPs on hidden-move-rich instances into real runs.
     max_estimate_states: int = 256
+    #: Shared win-set solve cache directory (:mod:`repro.game.warm`,
+    #: CLI ``--warm-cache``) consulted by the ``warmstart`` check's
+    #: base/mutant solves.  ``None`` keeps the check self-contained in a
+    #: fresh in-memory cache.  Check *results* never depend on cache
+    #: state — a warm path either reproduces the cold fixpoint exactly
+    #: or the check fails — so the byte-identical-report guarantee
+    #: across ``--jobs`` values and resumes is unaffected.
+    warm_cache_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -690,6 +698,189 @@ def check_estimate(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
 
 
 # ----------------------------------------------------------------------
+# Check: warm-start solving vs cold solving
+# ----------------------------------------------------------------------
+
+
+def _node_win_map(result: GameResult) -> Dict[tuple, Federation]:
+    """Per *node* (discrete state + zone), the nonempty winning sets.
+
+    Stricter than :func:`_win_by_key`: the warm-start checks compare
+    node for node, so a per-node discrepancy cannot hide inside a
+    per-discrete-state union.
+    """
+    out: Dict[tuple, Federation] = {}
+    for node in result.graph.nodes:
+        entry = result.wins.get(node.id)
+        if entry is None or entry.win.is_empty():
+            continue
+        out[(node.sym.locs, node.sym.vars, node.sym.zone.hash_key())] = entry.win
+    return out
+
+
+def _win_maps_equal(a: Dict[tuple, Federation], b: Dict[tuple, Federation]):
+    """The first differing key (as a printable detail), or None."""
+    for key in sorted(a.keys() | b.keys()):
+        left, right = a.get(key), b.get(key)
+        if left is None or right is None or not left.equals(right):
+            return f"locs={key[0]} vars={key[1]}"
+    return None
+
+
+def _derive_mutant_spec(instance: GeneratedInstance):
+    """A deterministic random MutantSpec over the instance's arena.
+
+    Seeded from the instance seed only, choosing among the operators the
+    arena structurally supports, so the ``warmstart`` check exercises a
+    different edit footprint per instance while staying reproducible
+    from the instance's integers.
+    """
+    from ..testing.mutants import MutantSpec
+
+    network = instance.arena
+    rng = random.Random(instance.seed * 76_543 + 11)
+    edges = [(aut, edge) for aut in network.automata for edge in aut.edges]
+    guarded = [(aut, edge) for aut, edge in edges if edge.guard is not None]
+    invariants = [
+        (aut, loc)
+        for aut in network.automata
+        for loc in aut.location_list
+        if loc.invariant is not None
+    ]
+    ops: List[str] = []
+    if edges:
+        ops += ["drop_edge", "retarget_edge"]
+    if guarded:
+        ops.append("shift_guard_constant")
+    if invariants:
+        ops.append("widen_invariant")
+    if not ops:
+        return None
+    op = rng.choice(ops)
+    if op == "widen_invariant":
+        aut, loc = rng.choice(invariants)
+        return MutantSpec.make(
+            "warmcheck", op,
+            automaton=aut.name, location=loc.name, delta=rng.choice((1, 2)),
+        )
+    if op == "shift_guard_constant":
+        aut, edge = rng.choice(guarded)
+        return MutantSpec.make(
+            "warmcheck", op,
+            automaton=aut.name, source=edge.source, target=edge.target,
+            delta=rng.choice((1, -1)),
+        )
+    aut, edge = rng.choice(edges)
+    if op == "retarget_edge":
+        return MutantSpec.make(
+            "warmcheck", op,
+            automaton=aut.name, source=edge.source, target=edge.target,
+            new_target=rng.choice(sorted(aut.locations)),
+        )
+    return MutantSpec.make(
+        "warmcheck", op,
+        automaton=aut.name, source=edge.source, target=edge.target,
+    )
+
+
+def check_warmstart(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    """Differential: warm-start solving ≡ cold solving, both ways.
+
+    Two fast paths of :mod:`repro.game.warm` are pinned against the cold
+    two-phase fixpoint with exact per-node win-set equality:
+
+    1. *cache restore* — solve, serialize to minimal-constraint form,
+       then force the deserialize → explore → install path and compare;
+    2. *mutant repair* — derive a seeded random mutant of the arena,
+       repair the base fixpoint along its footprint's dependency cone,
+       and compare against a cold solve of the mutant at joint caps.
+    """
+    from ..game.warm import (
+        WinSetCache,
+        joint_caps,
+        resolve_cache,
+        warm_solve,
+        warm_solve_mutant,
+    )
+    from ..testing.mutants import MutationError
+
+    query = parse_query(instance.query)
+    system = System(instance.arena)
+    # Restore-path half: always a private in-memory cache, so the first
+    # solve is a genuine miss and the second a genuine install.
+    private = WinSetCache()
+    try:
+        stored = warm_solve(
+            system, query, cache=private,
+            max_nodes=cfg.max_nodes, time_limit=cfg.time_limit,
+        )
+        private.forget_results()
+        restored = warm_solve(
+            system, query, cache=private,
+            max_nodes=cfg.max_nodes, time_limit=cfg.time_limit,
+        )
+    except ExplorationLimit as limit:
+        return CheckResult("warmstart", SKIP, str(limit))
+    if stored.winning != restored.winning:
+        return CheckResult(
+            "warmstart",
+            FAIL,
+            f"restored verdict differs: stored={stored.winning}"
+            f" restored={restored.winning}",
+        )
+    mismatch = _win_maps_equal(_node_win_map(stored), _node_win_map(restored))
+    if mismatch:
+        return CheckResult(
+            "warmstart", FAIL, f"restored win set differs at {mismatch}"
+        )
+
+    # Mutant-repair half.  The shared campaign cache (``--warm-cache``)
+    # may serve the base solve here; results cannot depend on it.
+    spec = _derive_mutant_spec(instance)
+    if spec is None:
+        return CheckResult("warmstart", OK, "no mutant derivable")
+    try:
+        mutant = spec.build(instance.arena)
+    except (MutationError, ValueError) as err:
+        return CheckResult("warmstart", OK, f"mutant inapplicable: {err}")
+    mutant_system = System(mutant.network)
+    footprint = spec.footprint(instance.arena)
+    caps = joint_caps(instance.arena, mutant.network)
+    cache = (
+        resolve_cache(cfg.warm_cache_dir)
+        if cfg.warm_cache_dir
+        else private
+    )
+    try:
+        warm = warm_solve_mutant(
+            system, mutant_system, query, footprint, cache=cache,
+            max_nodes=cfg.max_nodes, time_limit=cfg.time_limit,
+        )
+        cold = TwoPhaseSolver(
+            mutant_system, query,
+            max_nodes=cfg.max_nodes, time_limit=cfg.time_limit,
+            extra_max_consts=caps,
+        ).solve()
+    except ExplorationLimit as limit:
+        return CheckResult("warmstart", SKIP, str(limit))
+    if warm.winning != cold.winning:
+        return CheckResult(
+            "warmstart",
+            FAIL,
+            f"mutant {spec.operator} verdict differs: warm={warm.winning}"
+            f" cold={cold.winning}",
+        )
+    mismatch = _win_maps_equal(_node_win_map(warm), _node_win_map(cold))
+    if mismatch:
+        return CheckResult(
+            "warmstart",
+            FAIL,
+            f"mutant {spec.operator} repaired win set differs at {mismatch}",
+        )
+    return CheckResult("warmstart", OK)
+
+
+# ----------------------------------------------------------------------
 # Registry, per-instance runner, shrinking
 # ----------------------------------------------------------------------
 
@@ -699,6 +890,7 @@ CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
     "conformance": check_conformance,
     "composition": check_composition,
     "estimate": check_estimate,
+    "warmstart": check_warmstart,
 }
 
 

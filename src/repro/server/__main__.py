@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject specs without a winning strategy instead of falling"
         " back to cooperative testing",
     )
+    parser.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="win-set solve cache directory: specs synthesized by any"
+        " past run sharing the directory restore instead of re-solving",
+    )
     return parser
 
 
@@ -99,6 +106,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         ),
         time_limit=args.time_limit,
         allow_cooperative=not args.no_cooperative,
+        warm_cache=args.warm_cache,
     )
 
 

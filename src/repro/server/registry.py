@@ -26,6 +26,7 @@ handlers:
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import threading
 from dataclasses import dataclass
@@ -110,14 +111,29 @@ class SpecResolver:
         *,
         time_limit: Optional[float] = None,
         allow_cooperative: bool = True,
+        warm_cache: Optional[str] = None,
     ):
         self.time_limit = time_limit
         self.allow_cooperative = allow_cooperative
+        #: Win-set solve cache directory (:mod:`repro.game.warm`): specs
+        #: already synthesized by any process sharing the directory —
+        #: past server runs, campaign workers — restore their converged
+        #: win-sets instead of re-solving.
+        self.warm_cache = warm_cache
+        self._warm = None
+        if warm_cache is not None:
+            from ..game.warm import resolve_cache
+
+            self._warm = resolve_cache(warm_cache)
         self._bundles: Dict[str, SpecBundle] = {}
-        # One lock around synthesis: concurrent builds of the same key
-        # must not race, and CPU-bound solving gains nothing from running
-        # several synthesis threads under the GIL anyway.
+        # The lock only guards the bundle and in-flight maps — never the
+        # synthesis itself.  Concurrent requests for the *same* canonical
+        # spec dedupe onto one in-flight future (one build, everyone
+        # shares it); requests for *different* specs synthesize in
+        # parallel worker threads instead of serializing behind a single
+        # cold spec, which matters under a cold cache at accept time.
         self._lock = threading.Lock()
+        self._inflight: Dict[str, concurrent.futures.Future] = {}
 
     @staticmethod
     def canonical_key(desc: dict) -> str:
@@ -126,10 +142,45 @@ class SpecResolver:
         except (TypeError, ValueError) as err:
             raise ProtocolError(f"unserializable spec description: {err}")
 
+    def _build(self, desc: dict, key: str) -> SpecBundle:
+        arena_net, plant_net, default_query = _build_networks(desc)
+        query = desc.get("query", default_query)
+        if not isinstance(query, str):
+            raise ProtocolError(f"spec.query must be a string: {query!r}")
+        arena = System(arena_net)
+        plant = System(plant_net)
+        if self._warm is not None:
+            from ..game.warm import warm_solve
+
+            result = warm_solve(
+                arena,
+                parse_query(query),
+                cache=self._warm,
+                time_limit=self.time_limit,
+            )
+        else:
+            result = TwoPhaseSolver(
+                arena, parse_query(query), time_limit=self.time_limit
+            ).solve()
+        if result.winning:
+            strategy: object = Strategy(result)
+        elif self.allow_cooperative:
+            strategy = CooperativeStrategy(result)
+        else:
+            raise ProtocolError(
+                f"no winning strategy for {query!r} and cooperative"
+                " fallback disabled"
+            )
+        return SpecBundle(key, arena, plant, strategy, result.winning, query)
+
     def resolve(self, desc: dict) -> SpecBundle:
         """The shared bundle for a ``hello.spec`` description (cached).
 
         Blocking (synthesis!) — the server calls it via a worker thread.
+        The first request for a spec builds; concurrent requests for the
+        same spec wait on that build's future; other specs proceed
+        independently.  A failed build is not cached — a later request
+        retries (and its waiters share the retry).
         """
         if not isinstance(desc, dict):
             raise ProtocolError(f"spec must be an object, got {desc!r}")
@@ -143,30 +194,27 @@ class SpecResolver:
             if bundle is not None:
                 counters.inc("server.bundle_hits")
                 return bundle
-            counters.inc("server.bundle_builds")
-            arena_net, plant_net, default_query = _build_networks(desc)
-            query = desc.get("query", default_query)
-            if not isinstance(query, str):
-                raise ProtocolError(f"spec.query must be a string: {query!r}")
-            arena = System(arena_net)
-            plant = System(plant_net)
-            result = TwoPhaseSolver(
-                arena, parse_query(query), time_limit=self.time_limit
-            ).solve()
-            if result.winning:
-                strategy: object = Strategy(result)
-            elif self.allow_cooperative:
-                strategy = CooperativeStrategy(result)
-            else:
-                raise ProtocolError(
-                    f"no winning strategy for {query!r} and cooperative"
-                    " fallback disabled"
-                )
-            bundle = SpecBundle(
-                key, arena, plant, strategy, result.winning, query
-            )
+            future = self._inflight.get(key)
+            owner = future is None
+            if owner:
+                future = concurrent.futures.Future()
+                self._inflight[key] = future
+        if not owner:
+            counters.inc("server.bundle_waits")
+            return future.result()
+        counters.inc("server.bundle_builds")
+        try:
+            bundle = self._build(desc, key)
+        except BaseException as err:
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_exception(err)
+            raise
+        with self._lock:
             self._bundles[key] = bundle
-            return bundle
+            self._inflight.pop(key, None)
+        future.set_result(bundle)
+        return bundle
 
     def __len__(self) -> int:
         return len(self._bundles)

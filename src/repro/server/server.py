@@ -92,6 +92,7 @@ class ServerConfig:
     session: SessionConfig = field(default_factory=SessionConfig)
     time_limit: Optional[float] = None  # strategy-synthesis budget
     allow_cooperative: bool = True
+    warm_cache: Optional[str] = None  # win-set solve cache directory
 
 
 class TestServer:
@@ -102,6 +103,7 @@ class TestServer:
         self.resolver = SpecResolver(
             time_limit=self.config.time_limit,
             allow_cooperative=self.config.allow_cooperative,
+            warm_cache=self.config.warm_cache,
         )
         self.registry = SessionRegistry(
             max_sessions=self.config.max_sessions,

@@ -123,16 +123,27 @@ class TestCampaign:
         *,
         time_limit: Optional[float] = None,
         allow_cooperative: bool = True,
+        warm_cache: Optional[str] = None,
     ):
         self.arena = arena
         self.plant = plant
         self.time_limit = time_limit
         self.allow_cooperative = allow_cooperative
+        #: Win-set solve cache directory (:mod:`repro.game.warm`): purposes
+        #: synthesized by any campaign sharing the directory — including
+        #: other worker processes and past runs — are restored instead of
+        #: re-solved.  ``None`` keeps the historical always-cold behaviour.
+        self.warm_cache = warm_cache
         self.queries: List[Query] = [
             q if isinstance(q, Query) else parse_query(q) for q in purposes
         ]
         self._strategies: Dict[str, object] = {}
         self._results: Dict[str, GameResult] = {}
+        self._warm = None
+        if warm_cache is not None:
+            from ..game.warm import resolve_cache
+
+            self._warm = resolve_cache(warm_cache)
 
     # ------------------------------------------------------------------
 
@@ -141,8 +152,17 @@ class TestCampaign:
         key = str(query)
         if key in self._strategies:
             return self._strategies[key]
-        solver = TwoPhaseSolver(self.arena, query, time_limit=self.time_limit)
-        result = solver.solve()
+        if self._warm is not None:
+            from ..game.warm import warm_solve
+
+            result = warm_solve(
+                self.arena, query, cache=self._warm, time_limit=self.time_limit
+            )
+        else:
+            solver = TwoPhaseSolver(
+                self.arena, query, time_limit=self.time_limit
+            )
+            result = solver.solve()
         self._results[key] = result
         if result.winning:
             strategy: object = Strategy(result)
@@ -302,8 +322,16 @@ def _cached_campaign(
     purposes: Tuple[str, ...],
     time_limit: Optional[float],
     allow_cooperative: bool,
+    warm_cache: Optional[str] = None,
 ) -> TestCampaign:
-    key = (arena_factory, plant_factory, purposes, time_limit, allow_cooperative)
+    key = (
+        arena_factory,
+        plant_factory,
+        purposes,
+        time_limit,
+        allow_cooperative,
+        warm_cache,
+    )
     campaign = _CAMPAIGN_CACHE.get(key)
     if campaign is None:
         campaign = TestCampaign(
@@ -312,6 +340,7 @@ def _cached_campaign(
             purposes,
             time_limit=time_limit,
             allow_cooperative=allow_cooperative,
+            warm_cache=warm_cache,
         )
         _CAMPAIGN_CACHE[key] = campaign
     return campaign
@@ -323,12 +352,18 @@ def _detect_one(
     purposes: Tuple[str, ...],
     time_limit: Optional[float],
     allow_cooperative: bool,
+    warm_cache: Optional[str],
     spec: MutantSpec,
     config: SessionConfig,
 ) -> MutantOutcome:
     """One mutant's sweep (module-level: the pool's unit of work)."""
     campaign = _cached_campaign(
-        arena_factory, plant_factory, purposes, time_limit, allow_cooperative
+        arena_factory,
+        plant_factory,
+        purposes,
+        time_limit,
+        allow_cooperative,
+        warm_cache,
     )
     mutant = spec.build(plant_factory())
     mutant_system = System(mutant.network)
@@ -377,12 +412,18 @@ class MutationCampaign:
         *,
         time_limit: Optional[float] = None,
         allow_cooperative: bool = True,
+        warm_cache: Optional[str] = None,
     ):
         self.arena_factory = arena_factory
         self.plant_factory = plant_factory
         self.purposes: Tuple[str, ...] = tuple(str(q) for q in purposes)
         self.time_limit = time_limit
         self.allow_cooperative = allow_cooperative
+        #: Directory of the shared win-set solve cache (picklable: the
+        #: path string crosses the pool, every worker opens its own
+        #: handle).  Lets the per-worker strategy caches start warm —
+        #: one worker's (or a past campaign's) synthesis serves them all.
+        self.warm_cache = warm_cache
 
     def detect(
         self,
@@ -408,6 +449,7 @@ class MutationCampaign:
             self.purposes,
             self.time_limit,
             self.allow_cooperative,
+            self.warm_cache,
             spec,
             config,
         )
@@ -448,6 +490,7 @@ class MutationCampaign:
                 self.purposes,
                 self.time_limit,
                 self.allow_cooperative,
+                self.warm_cache,
                 spec,
                 config,
             )

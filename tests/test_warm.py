@@ -1,0 +1,387 @@
+"""Warm-start solving: win-set serialization, cache, and mutant repair.
+
+The serialization property here is the load-bearing one: the on-disk
+cache stores federations in minimal-constraint form, and a single lossy
+round-trip would silently corrupt every restored fixpoint.  The cache
+tests pin the counter protocol (hit/miss/store/mismatch) the benchmarks
+and the ``warmstart`` differential check rely on.
+"""
+
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbm import DBM, le
+from repro.game import TwoPhaseSolver, warm_solve, warm_solve_mutant
+from repro.game.warm import (
+    WinSetCache,
+    effective_caps,
+    federation_from_obj,
+    federation_to_obj,
+    joint_caps,
+    minimal_constraints,
+    resolve_cache,
+    zone_from_obj,
+    zone_to_obj,
+)
+from repro.gen.networks import generate_instance
+from repro.models.smartlight import smartlight_network, smartlight_plant
+from repro.semantics.system import System
+from repro.tctl import parse_query
+from repro.testing.mutants import MutantSpec
+from repro.util import counters
+
+from tests.zone_strategies import DIM, big_federations, diagonal_zones, zones
+
+QUERY = "control: A<> IUT.Bright"
+
+
+def _counts():
+    return {
+        k: v for k, v in counters.snapshot().items()
+        if k.startswith("solver.warm_")
+    }
+
+
+def _win_map(result):
+    return {
+        (node.sym.locs, node.sym.vars, node.sym.zone.hash_key()):
+            entry.win.hash_key()
+        for node in result.graph.nodes
+        for entry in [result.wins.get(node.id)]
+        if entry is not None and not entry.win.is_empty()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Minimal-constraint serialization
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(zones())
+def test_zone_roundtrip_exact(zone):
+    if zone.is_empty():
+        return
+    obj = zone_to_obj(zone)
+    assert zone_from_obj(zone.dim, obj).hash_key() == zone.hash_key()
+
+
+@settings(max_examples=100, deadline=None)
+@given(diagonal_zones())
+def test_diagonal_zone_roundtrip_exact(zone):
+    if zone.is_empty():
+        return
+    obj = zone_to_obj(zone)
+    assert zone_from_obj(zone.dim, obj).hash_key() == zone.hash_key()
+
+
+@settings(max_examples=100, deadline=None)
+@given(zones())
+def test_minimal_constraints_no_larger_than_nontrivial(zone):
+    if zone.is_empty():
+        return
+    assert len(minimal_constraints(zone)) <= len(zone.nontrivial_constraints())
+
+
+@settings(max_examples=100, deadline=None)
+@given(big_federations())
+def test_federation_roundtrip_exact(fed):
+    obj = federation_to_obj(fed)
+    back = federation_from_obj(fed.dim, obj)
+    assert back.hash_key() == fed.hash_key()
+    # JSON round-trip too: the disk format is json.dump(obj).
+    import json
+
+    again = federation_from_obj(fed.dim, json.loads(json.dumps(obj)))
+    assert again.hash_key() == fed.hash_key()
+
+
+def test_all_clocks_equal_zone_roundtrips():
+    """The zero-cycle collapse regression: x1 = x2 = x3 (all equal)."""
+    zone = DBM.universal(DIM)
+    for i in range(1, DIM - 1):
+        zone = zone.tighten(i, i + 1, le(0)).tighten(i + 1, i, le(0))
+    assert not zone.is_empty()
+    obj = zone_to_obj(zone)
+    assert zone_from_obj(DIM, obj).hash_key() == zone.hash_key()
+
+
+# ---------------------------------------------------------------------------
+# Cache hit/miss counter protocol
+# ---------------------------------------------------------------------------
+
+
+def test_cache_miss_then_memo_hit_then_restore_hit(tmp_path):
+    counters.reset()
+    cache = WinSetCache(str(tmp_path / "warm"))
+    system = System(smartlight_network())
+
+    cold = warm_solve(system, QUERY, cache=cache)
+    after_miss = _counts()
+    assert after_miss.get("solver.warm_misses") == 1
+    assert after_miss.get("solver.warm_stores") == 1
+    assert not after_miss.get("solver.warm_hits")
+
+    memo = warm_solve(system, QUERY, cache=cache)
+    after_memo = _counts()
+    assert memo is cold  # the installed-result memo returns the object
+    assert after_memo.get("solver.warm_hits") == 1
+    assert after_memo.get("solver.warm_result_hits") == 1
+
+    cache.forget_results()
+    restored = warm_solve(system, QUERY, cache=cache)
+    after_restore = _counts()
+    assert restored is not cold
+    assert after_restore.get("solver.warm_hits") == 2
+    assert after_restore.get("solver.warm_result_hits") == 1  # unchanged
+    assert after_restore.get("solver.warm_misses") == 1  # unchanged
+    assert restored.winning == cold.winning
+    assert _win_map(restored) == _win_map(cold)
+
+
+def test_cross_process_restore_via_fresh_cache_object(tmp_path):
+    counters.reset()
+    directory = str(tmp_path / "warm")
+    system = System(smartlight_network())
+    cold = warm_solve(system, QUERY, cache=WinSetCache(directory))
+
+    fresh = WinSetCache(directory)  # simulates a new worker process
+    restored = warm_solve(system, QUERY, cache=fresh)
+    assert _counts().get("solver.warm_hits") == 1
+    assert restored.winning == cold.winning
+    assert _win_map(restored) == _win_map(cold)
+
+
+def test_memory_only_cache_needs_no_directory():
+    cache = WinSetCache()
+    system = System(smartlight_network())
+    first = warm_solve(system, QUERY, cache=cache)
+    assert warm_solve(system, QUERY, cache=cache) is first
+    assert len(cache) == 1
+
+
+def test_warm_off_env_forces_cold(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_WARM_OFF", "1")
+    counters.reset()
+    cache = WinSetCache(str(tmp_path / "warm"))
+    system = System(smartlight_network())
+    result = warm_solve(system, QUERY, cache=cache)
+    assert result.winning
+    assert not _counts()  # no warm counters: pure cold path
+    assert len(cache) == 0
+
+
+def test_resolve_cache_accepts_path_object_and_none(tmp_path):
+    assert resolve_cache(None) is None
+    cache = WinSetCache()
+    assert resolve_cache(cache) is cache
+    built = resolve_cache(str(tmp_path / "dir"))
+    assert isinstance(built, WinSetCache)
+    assert built.directory == str(tmp_path / "dir")
+
+
+def test_corrupt_disk_entry_falls_back_to_cold(tmp_path):
+    counters.reset()
+    directory = str(tmp_path / "warm")
+    system = System(smartlight_network())
+    cache = WinSetCache(directory)
+    warm_solve(system, QUERY, cache=cache)
+    caps = effective_caps(system, parse_query(QUERY))
+    key = WinSetCache.key_for(system.network, parse_query(QUERY), caps)
+    path = cache._path(key)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"format": 999}')
+
+    fresh = WinSetCache(directory)
+    result = warm_solve(system, QUERY, cache=fresh)
+    assert result.winning
+    assert _counts().get("solver.warm_mismatches") == 1
+
+
+# ---------------------------------------------------------------------------
+# Warm ≡ cold
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family,seed", [("clientserver", 7), ("ring", 3)])
+def test_warm_equals_cold_on_generated(family, seed, tmp_path):
+    instance = generate_instance(seed, family)
+    system = System(instance.arena)
+    query = parse_query(instance.query)
+    cold = TwoPhaseSolver(system, query).solve()
+    cache = WinSetCache(str(tmp_path / "warm"))
+    warm_solve(System(instance.arena), query, cache=cache)  # populate
+    cache.forget_results()
+    warm = warm_solve(System(instance.arena), query, cache=cache)
+    assert warm.winning == cold.winning
+    assert _win_map(warm) == _win_map(cold)
+
+
+# ---------------------------------------------------------------------------
+# Mutant fixpoint repair
+# ---------------------------------------------------------------------------
+
+MUTANTS = [
+    MutantSpec.make(
+        "late-L6", "widen_invariant", "L6 two units late", True,
+        automaton="IUT", location="L6", delta=2,
+    ),
+    MutantSpec.make(
+        "threshold-off", "shift_guard_constant", "threshold off by one",
+        False, automaton="IUT", source="Off", target="L5", delta=-1,
+    ),
+    MutantSpec.make(
+        "drop-bright", "drop_edge", "L6 never answers", True,
+        automaton="IUT", source="L6", sync="bright!",
+    ),
+]
+
+
+@pytest.mark.parametrize("spec", MUTANTS, ids=lambda s: s.name)
+def test_mutant_repair_equals_cold_at_joint_caps(spec, tmp_path):
+    base_net = smartlight_plant()
+    mutant_net = spec.build(base_net).network
+    footprint = spec.footprint(base_net)
+    assert footprint, "smartlight mutants must report a footprint"
+    caps = joint_caps(base_net, mutant_net)
+    assert caps is not None
+
+    cache = WinSetCache(str(tmp_path / "warm"))
+    repaired = warm_solve_mutant(
+        System(base_net), System(mutant_net), QUERY, footprint, cache=cache
+    )
+    cold = TwoPhaseSolver(
+        System(mutant_net), parse_query(QUERY), extra_max_consts=caps
+    ).solve()
+    assert repaired.winning == cold.winning
+    assert _win_map(repaired) == _win_map(cold)
+
+
+def test_mutant_repair_without_footprint_is_cold(tmp_path):
+    counters.reset()
+    base_net = smartlight_plant()
+    spec = MUTANTS[0]
+    mutant_net = spec.build(base_net).network
+    cache = WinSetCache(str(tmp_path / "warm"))
+    result = warm_solve_mutant(
+        System(base_net), System(mutant_net), QUERY, None, cache=cache
+    )
+    assert _counts().get("solver.warm_mutant_cold") == 1
+    cold = TwoPhaseSolver(System(mutant_net), parse_query(QUERY)).solve()
+    assert result.winning == cold.winning
+
+
+def test_mutant_repeat_encounter_is_a_cache_hit(tmp_path):
+    counters.reset()
+    base_net = smartlight_plant()
+    spec = MUTANTS[0]
+    mutant_net = spec.build(base_net).network
+    footprint = spec.footprint(base_net)
+    cache = WinSetCache(str(tmp_path / "warm"))
+    first = warm_solve_mutant(
+        System(base_net), System(mutant_net), QUERY, footprint, cache=cache
+    )
+    again = warm_solve_mutant(
+        System(base_net), System(mutant_net), QUERY, footprint, cache=cache
+    )
+    assert again is first
+    assert _counts().get("solver.warm_result_hits") == 1
+
+
+# ---------------------------------------------------------------------------
+# Footprint contract
+# ---------------------------------------------------------------------------
+
+
+def test_footprints_name_real_locations():
+    net = smartlight_plant()
+    by_name = {a.name: a for a in net.automata}
+    for spec in MUTANTS:
+        footprint = spec.footprint(net)
+        assert footprint is not None
+        for automaton, locations in footprint.items():
+            assert automaton in by_name
+            assert locations <= set(by_name[automaton].locations)
+
+
+def test_footprint_of_inapplicable_mutant_is_none():
+    spec = MutantSpec.make(
+        "ghost", "drop_edge", "no such edge", False,
+        automaton="IUT", source="NoSuchLoc", sync="bright!",
+    )
+    assert spec.footprint(smartlight_plant()) is None
+
+
+# ---------------------------------------------------------------------------
+# SpecResolver in-flight dedupe
+# ---------------------------------------------------------------------------
+
+
+def test_spec_resolver_dedupes_concurrent_builds():
+    from repro.server.registry import SpecResolver
+
+    counters.reset()
+    resolver = SpecResolver()
+    barrier = threading.Barrier(8)
+    bundles = []
+
+    def worker():
+        barrier.wait()
+        bundles.append(resolver.resolve({"model": "smartlight"}))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(bundles) == 8
+    assert all(b is bundles[0] for b in bundles)
+    snap = counters.snapshot()
+    assert snap.get("server.bundle_builds") == 1
+    assert (
+        snap.get("server.bundle_waits", 0) + snap.get("server.bundle_hits", 0)
+        == 7
+    )
+
+
+def test_spec_resolver_failed_build_is_retried():
+    from repro.server.protocol import ProtocolError
+    from repro.server.registry import SpecResolver
+
+    resolver = SpecResolver()
+    with pytest.raises(ProtocolError):
+        resolver.resolve({"model": "no-such-model"})
+    # Not cached: a second attempt fails afresh rather than returning a
+    # poisoned bundle (and a later valid spec still resolves).
+    with pytest.raises(ProtocolError):
+        resolver.resolve({"model": "no-such-model"})
+    assert resolver.resolve({"model": "smartlight"}).winning
+
+
+# ---------------------------------------------------------------------------
+# CLI default wiring
+# ---------------------------------------------------------------------------
+
+
+def test_cli_warm_cache_defaults():
+    from repro.gen.cli import _warm_cache_dir, build_parser
+
+    parser = build_parser()
+    plain = parser.parse_args([])
+    assert _warm_cache_dir(plain) is None
+
+    with_corpus = parser.parse_args(["--corpus", "c"])
+    assert _warm_cache_dir(with_corpus) == os.path.join("c", "warm-cache")
+
+    no_mutations = parser.parse_args(["--corpus", "c", "--mutations", "0"])
+    assert _warm_cache_dir(no_mutations) is None
+
+    explicit = parser.parse_args(["--warm-cache", "elsewhere"])
+    assert _warm_cache_dir(explicit) == "elsewhere"
+
+    disabled = parser.parse_args(["--corpus", "c", "--no-warm-cache"])
+    assert _warm_cache_dir(disabled) is None
