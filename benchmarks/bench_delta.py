@@ -153,6 +153,32 @@ def main(argv=None) -> int:
                 for key, value in info.items()
             )
             print(f"| `{name}` | {cells} |")
+
+    # Kernel-backend dispatch, when the run recorded it (the stacked
+    # kernel microbenches attach the active backend name plus the
+    # dbm.backend_* counters as extra_info).
+    backend_rows = []
+    for name, info in sorted(extras.items()):
+        cells = {
+            k: v
+            for k, v in sorted(info.items())
+            if k == "kernel_backend" or k.startswith("dbm.backend_")
+        }
+        if cells:
+            backend_rows.append((name, cells))
+    if backend_rows:
+        print()
+        print("### Kernel backend (current run)")
+        print()
+        print("| benchmark | backend | dispatch counters |")
+        print("|---|---|---|")
+        for name, info in backend_rows:
+            backend = info.pop("kernel_backend", "?")
+            cells = ", ".join(
+                f"{key.split('dbm.', 1)[1]}={value}"
+                for key, value in info.items()
+            )
+            print(f"| `{name}` | {backend} | {cells or '—'} |")
     return 0
 
 

@@ -11,7 +11,10 @@ import random
 import pytest
 
 from repro.dbm import DBM, Federation, le
+from repro.dbm import backends as kernel_backends
+from repro.dbm import stack as sk
 from repro.game.predt import predt
+from repro.util import counters
 
 
 def random_zone(rng, dim=5, constraints=6):
@@ -141,3 +144,91 @@ def test_bench_sample(benchmark, zone_pool):
             z.sample()
 
     benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# Stacked-kernel microbenches, per active backend
+# ----------------------------------------------------------------------
+#
+# These exercise the raw :mod:`repro.dbm.stack` entry points that the
+# pluggable kernel backends (``REPRO_KERNEL_BACKEND``) implement, at the
+# stack sizes that bracket real workloads: k=4 (just past the dispatch
+# threshold), k=32 (typical estimate closure), k=256 (stress).  The
+# active backend name and the ``dbm.backend_*`` dispatch counters land
+# in ``extra_info`` so saved JSONs are comparable across backends.
+
+KERNEL_KS = [4, 32, 256]
+
+
+def _record_backend(benchmark):
+    benchmark.extra_info["kernel_backend"] = kernel_backends.active().name
+    for name, value in sorted(counters.export()["counts"].items()):
+        if name.startswith("dbm.backend_"):
+            benchmark.extra_info[name] = value
+
+
+@pytest.fixture(scope="module")
+def kernel_stacks():
+    """Per k: (canonical stack, de-canonicalised raw copy) of dim-5 zones."""
+    rng = random.Random(90)
+    out = {}
+    for k in KERNEL_KS:
+        zones = []
+        while len(zones) < k:
+            zone = random_zone(rng)
+            if not zone.is_empty():
+                zones.append(zone)
+        stack = sk.stack_of(zones)
+        raw = stack.copy()
+        for _ in range(k):  # random tightenings give close() real work
+            x = rng.randrange(k)
+            i = rng.randrange(5)
+            j = rng.randrange(5)
+            if i != j:
+                raw[x, i, j] = (rng.randint(-4, 10) << 1) | 1
+        out[k] = (stack, raw)
+    return out
+
+
+@pytest.mark.parametrize("k", KERNEL_KS, ids=[f"k{k}" for k in KERNEL_KS])
+def test_bench_kernel_close(benchmark, kernel_stacks, k):
+    _, raw = kernel_stacks[k]
+
+    def run():
+        return sk.close(raw.copy())
+
+    keep = benchmark(run)
+    assert keep.shape == (k,)
+    _record_backend(benchmark)
+
+
+@pytest.mark.parametrize("k", KERNEL_KS, ids=[f"k{k}" for k in KERNEL_KS])
+def test_bench_kernel_subsume_frontier(benchmark, kernel_stacks, k):
+    stack, _ = kernel_stacks[k]
+    seen = stack[::2].copy()
+
+    def run():
+        return sk.subsume_frontier(stack.copy(), seen)
+
+    keep_new, drop_seen = benchmark(run)
+    assert keep_new.shape == (k,)
+    assert drop_seen.shape == (seen.shape[0],)
+    _record_backend(benchmark)
+
+
+@pytest.mark.parametrize("k", KERNEL_KS, ids=[f"k{k}" for k in KERNEL_KS])
+def test_bench_kernel_hidden_post_step(benchmark, kernel_stacks, k):
+    stack, _ = kernel_stacks[k]
+    guard = [(1, 0, le(12)), (0, 2, le(-1))]
+    resets = [2]
+    shifts = [(3, 1)]
+    invariant = [(1, 0, le(30))]
+
+    def run():
+        return sk.hidden_post_step(
+            stack.copy(), guard, resets, shifts, invariant, delay=True
+        )
+
+    keep = benchmark(run)
+    assert keep.shape == (k,)
+    _record_backend(benchmark)

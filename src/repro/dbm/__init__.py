@@ -17,6 +17,7 @@ from .bounds import (
 )
 from .dbm import DBM, Constraint
 from .federation import Federation, subtract_zone
+from .minform import minimal_constraints, verified_minimal_constraints
 
 __all__ = [
     "INF",
@@ -36,4 +37,6 @@ __all__ = [
     "Constraint",
     "Federation",
     "subtract_zone",
+    "minimal_constraints",
+    "verified_minimal_constraints",
 ]

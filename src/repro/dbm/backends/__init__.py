@@ -1,0 +1,165 @@
+"""Kernel backend registry: selection, fallback, and counters.
+
+The stacked-DBM dispatch layer (:mod:`repro.dbm.stack`) asks
+:func:`active` for the current :class:`~repro.dbm.backends.base.KernelBackend`
+on every hot-kernel call.  Selection:
+
+* ``REPRO_KERNEL_BACKEND=numpy|numba|cext|auto`` picks the backend at
+  first use (default ``numpy``, the pure-numpy reference).
+* ``auto`` probes ``numba`` → ``cext`` → ``numpy`` and takes the first
+  that loads, silently.
+* Naming an unavailable backend explicitly falls back to ``numpy`` with
+  a one-time :class:`RuntimeWarning` and a ``dbm.backend_fallbacks``
+  counter bump — a missing JIT must never turn into a hard failure in a
+  test campaign.
+
+Every resolution bumps ``dbm.backend_selected_<name>`` and each
+dispatched kernel call bumps ``dbm.backend_<name>`` (via the backend's
+precomputed ``counter`` attribute), so benchmark ``extra_info`` and fuzz
+coverage signatures record which implementation actually ran.
+
+This module imports no backend implementation at import time — backend
+modules load lazily inside :func:`resolve`, which keeps
+``repro.dbm.stack`` ↔ ``repro.dbm.backends`` import-order safe and means
+a broken optional toolchain costs nothing until someone asks for it.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from ...util import counters
+from .base import BackendUnavailable, KernelBackend
+
+__all__ = [
+    "BackendUnavailable",
+    "KernelBackend",
+    "active",
+    "available_backends",
+    "resolve",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: ``auto`` preference order: numba (when installed) beats the bundled C
+#: extension on fused kernels, and anything compiled beats numpy.
+AUTO_ORDER = ("numba", "cext", "numpy")
+
+BACKEND_NAMES = ("numpy", "numba", "cext")
+
+_active: Optional[KernelBackend] = None
+_warned_fallback = False
+
+
+def _load(name: str) -> KernelBackend:
+    """Instantiate one backend by name; raises :class:`BackendUnavailable`."""
+    if name == "numpy":
+        from .numpy_backend import NumpyBackend
+
+        return NumpyBackend()
+    if name == "numba":
+        from .numba_backend import NumbaBackend
+
+        return NumbaBackend()
+    if name == "cext":
+        from .cext import CExtBackend
+
+        return CExtBackend()
+    raise BackendUnavailable(
+        f"unknown kernel backend {name!r} "
+        f"(expected one of {', '.join(BACKEND_NAMES)}, or 'auto')"
+    )
+
+
+def resolve(spec: Optional[str]) -> KernelBackend:
+    """Resolve a backend spec (``numpy|numba|cext|auto``) to an instance.
+
+    Explicit names fall back to numpy (warning + counter) when the
+    backend cannot load; ``auto`` falls through its preference order
+    silently — not having an optional accelerator is the expected state,
+    not a misconfiguration.
+    """
+    global _warned_fallback
+    spec = (spec or "numpy").strip().lower()
+    backend: Optional[KernelBackend] = None
+    if spec == "auto":
+        for name in AUTO_ORDER:
+            try:
+                backend = _load(name)
+                break
+            except BackendUnavailable:
+                continue
+    else:
+        try:
+            backend = _load(spec)
+        except BackendUnavailable as exc:
+            counters.inc("dbm.backend_fallbacks")
+            if not _warned_fallback:
+                _warned_fallback = True
+                warnings.warn(
+                    f"kernel backend {spec!r} unavailable, "
+                    f"falling back to numpy: {exc}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            backend = _load("numpy")
+    assert backend is not None  # numpy always loads
+    counters.inc(f"dbm.backend_selected_{backend.name}")
+    return backend
+
+
+def active() -> KernelBackend:
+    """The backend hot kernels dispatch to (resolved once, from the env)."""
+    global _active
+    if _active is None:
+        _active = resolve(os.environ.get(ENV_VAR))
+    return _active
+
+
+def set_backend(
+    spec: Union[KernelBackend, str, None]
+) -> Optional[KernelBackend]:
+    """Install a backend (instance or spec string) as the active one.
+
+    ``None`` clears the cached selection so the next kernel call
+    re-reads ``REPRO_KERNEL_BACKEND``.  Returns the installed backend
+    (or None when clearing).
+    """
+    global _active
+    if spec is None:
+        _active = None
+        return None
+    _active = resolve(spec) if isinstance(spec, str) else spec
+    return _active
+
+
+@contextmanager
+def use_backend(
+    spec: Union[KernelBackend, str]
+) -> Iterator[KernelBackend]:
+    """Temporarily dispatch through the given backend (tests, differentials)."""
+    global _active
+    previous = _active
+    installed = set_backend(spec)
+    try:
+        assert installed is not None
+        yield installed
+    finally:
+        _active = previous
+
+
+def available_backends() -> List[str]:
+    """Names of the backends that actually load in this environment."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            _load(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return out

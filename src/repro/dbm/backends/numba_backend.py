@@ -1,0 +1,390 @@
+"""Numba kernel backend: JIT-compiled scalar loops over the stack.
+
+The kernel bodies below are written in the numba-compatible subset of
+Python (explicit loops over int64 arrays, no fancy indexing) and are
+importable — and runnable — *without* numba installed.  That is
+deliberate: the always-on ``kernel`` fuzz differential exercises these
+exact bodies in pure-Python mode on every environment, so the loop
+logic is continuously verified against the numpy reference even where
+the JIT is absent; installing numba (``pip install repro[numba]``)
+changes only how fast the same bodies run.
+
+When numba is available, :func:`jit_kernels` wraps every body with
+``numba.njit(cache=True)`` (on-disk compilation cache, so the JIT cost
+is paid once per machine) and rebinds the module globals, which also
+redirects the bodies' calls to each other through the compiled
+dispatchers.
+
+Exactness (see :mod:`repro.dbm.backends.base`): the loops replicate the
+reference kernels' update structure — same tighten/changed/close
+sequencing, same in-place reset/shift ordering, same drift clamp — with
+one licensed deviation: rows found inconsistent are abandoned at the
+first negative diagonal instead of being dragged through the remaining
+steps, which the contract allows because dead-row content is scratch.
+The in-place Floyd-Warshall is byte-identical to the reference's
+per-``via`` snapshot form on consistent rows because the pivot row and
+column are fixed points of their own iteration (the diagonal stays at
+``LE_ZERO``, the additive identity of the bound encoding).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bounds import INF, INF_SOFT, LE_ZERO
+from .base import (
+    BackendUnavailable,
+    marshal_clocks,
+    marshal_constraints,
+    marshal_pairs,
+)
+
+Constraint = Tuple[int, int, int]
+
+# ---------------------------------------------------------------------------
+# Kernel bodies (numba-compatible; valid pure Python).
+# ---------------------------------------------------------------------------
+
+
+def _incl(ma, mb, dim):
+    """Pointwise ``ma >= mb`` — zone inclusion for canonical matrices."""
+    for i in range(dim):
+        for j in range(dim):
+            if ma[i, j] < mb[i, j]:
+                return False
+    return True
+
+
+def _close_one(m, dim):
+    """In-place Floyd-Warshall on one matrix; True iff consistent."""
+    for via in range(dim):
+        for i in range(dim):
+            a = m[i, via]
+            if a >= INF_SOFT:
+                continue
+            for j in range(dim):
+                b = m[via, j]
+                if b >= INF_SOFT:
+                    continue
+                cand = a + b - ((a | b) & 1)
+                if cand < m[i, j]:
+                    m[i, j] = cand
+        for i in range(dim):
+            if m[i, i] < LE_ZERO:
+                return False
+    for i in range(dim):
+        for j in range(dim):
+            if m[i, j] >= INF_SOFT:
+                m[i, j] = INF
+    return True
+
+
+def _tighten_close(m, cons, dim):
+    """Apply encoded constraints; re-close iff something tightened."""
+    changed = False
+    for c in range(cons.shape[0]):
+        i = cons[c, 0]
+        j = cons[c, 1]
+        enc = cons[c, 2]
+        if m[i, j] > enc:
+            m[i, j] = enc
+            changed = True
+    if changed:
+        return _close_one(m, dim)
+    return True
+
+
+def _reset_one(m, resets, dim):
+    for c in range(resets.shape[0]):
+        x = resets[c]
+        for j in range(dim):
+            m[x, j] = m[0, j]
+        for i in range(dim):
+            m[i, x] = m[i, 0]
+        m[x, x] = LE_ZERO
+        m[x, 0] = LE_ZERO
+        m[0, x] = LE_ZERO
+
+
+def _shift_one(m, shifts, dim):
+    for c in range(shifts.shape[0]):
+        x = shifts[c, 0]
+        v = shifts[c, 1]
+        up_enc = (v << 1) | 1
+        dn_enc = ((-v) << 1) | 1
+        for j in range(dim):
+            a = m[x, j]
+            if a >= INF:
+                m[x, j] = INF
+            else:
+                m[x, j] = a + up_enc - ((a | up_enc) & 1)
+        for i in range(dim):
+            a = m[i, x]
+            if a >= INF:
+                m[i, x] = INF
+            else:
+                m[i, x] = a + dn_enc - ((a | dn_enc) & 1)
+        m[x, x] = LE_ZERO
+
+
+def _k_close(stack):
+    k = stack.shape[0]
+    dim = stack.shape[1]
+    ok = np.ones(k, np.bool_)
+    for z in range(k):
+        ok[z] = _close_one(stack[z], dim)
+    return ok
+
+
+def _k_extrapolate(stack, caps):
+    k = stack.shape[0]
+    dim = stack.shape[1]
+    ok = np.ones(k, np.bool_)
+    for z in range(k):
+        m = stack[z]
+        changed = False
+        for i in range(1, dim):
+            cap = caps[i]
+            for j in range(dim):
+                if i == j:
+                    continue
+                v = m[i, j]
+                if v < INF and (v >> 1) > cap:
+                    m[i, j] = INF
+                    changed = True
+        for j in range(dim):
+            v = m[0, j]
+            if v < INF and (v >> 1) < -caps[j]:
+                m[0, j] = (-caps[j]) << 1
+                changed = True
+        if changed:
+            ok[z] = _close_one(m, dim)
+    return ok
+
+
+def _k_inclusion(a, b):
+    ka = a.shape[0]
+    kb = b.shape[0]
+    dim = a.shape[1]
+    out = np.ones((ka, kb), np.bool_)
+    for x in range(ka):
+        for y in range(kb):
+            out[x, y] = _incl(a[x], b[y], dim)
+    return out
+
+
+def _k_reduce(stack):
+    k = stack.shape[0]
+    dim = stack.shape[1]
+    keep = np.ones(k, np.bool_)
+    for y in range(k):
+        for x in range(k):
+            if x == y:
+                continue
+            if not _incl(stack[x], stack[y], dim):
+                continue
+            if x < y or not _incl(stack[y], stack[x], dim):
+                keep[y] = False
+                break
+    return keep
+
+
+def _k_subsume(new, seen):
+    kn = new.shape[0]
+    ks = seen.shape[0]
+    dim = new.shape[1]
+    keep = _k_reduce(new)
+    drop = np.zeros(ks, np.bool_)
+    for x in range(kn):
+        if not keep[x]:
+            continue
+        for s in range(ks):
+            if _incl(seen[s], new[x], dim):
+                keep[x] = False
+                break
+    for s in range(ks):
+        for x in range(kn):
+            if keep[x] and _incl(new[x], seen[s], dim):
+                drop[s] = True
+                break
+    return keep, drop
+
+
+def _k_hidden_post(stack, guard, resets, shifts, inv, delay):
+    k = stack.shape[0]
+    dim = stack.shape[1]
+    keep = np.ones(k, np.bool_)
+    for z in range(k):
+        m = stack[z]
+        if guard.shape[0] and not _tighten_close(m, guard, dim):
+            keep[z] = False
+            continue
+        _reset_one(m, resets, dim)
+        _shift_one(m, shifts, dim)
+        if inv.shape[0] and not _tighten_close(m, inv, dim):
+            keep[z] = False
+            continue
+        if delay:
+            for i in range(1, dim):
+                m[i, 0] = INF
+            if inv.shape[0] and not _tighten_close(m, inv, dim):
+                keep[z] = False
+    return keep
+
+
+def _k_any_hidden_post(stack, guard, resets, shifts, inv):
+    k = stack.shape[0]
+    dim = stack.shape[1]
+    for z in range(k):
+        m = stack[z]
+        if guard.shape[0] and not _tighten_close(m, guard, dim):
+            continue
+        if inv.shape[0] == 0:
+            return True
+        _reset_one(m, resets, dim)
+        _shift_one(m, shifts, dim)
+        if _tighten_close(m, inv, dim):
+            return True
+    return False
+
+
+#: Bodies in dependency order (helpers first, so rebinding-by-name works).
+_KERNEL_NAMES = (
+    "_incl",
+    "_close_one",
+    "_tighten_close",
+    "_reset_one",
+    "_shift_one",
+    "_k_close",
+    "_k_extrapolate",
+    "_k_inclusion",
+    "_k_reduce",
+    "_k_subsume",
+    "_k_hidden_post",
+    "_k_any_hidden_post",
+)
+
+#: The pure-Python originals, snapshotted before any JIT rebinding.
+PY_KERNELS = {name: globals()[name] for name in _KERNEL_NAMES}
+
+_jitted = False
+
+
+def jit_kernels() -> None:
+    """Wrap every kernel body with ``numba.njit(cache=True)``, once.
+
+    Rebinds the module globals so the bodies call each other through the
+    compiled dispatchers; raises :class:`BackendUnavailable` when numba
+    cannot be imported (the caller falls back to numpy).
+    """
+    global _jitted
+    if _jitted:
+        return
+    try:
+        import numba
+    except Exception as exc:  # pragma: no cover - environment-dependent
+        raise BackendUnavailable(f"numba is not importable: {exc}") from exc
+    try:
+        for name in _KERNEL_NAMES:
+            globals()[name] = numba.njit(cache=True)(PY_KERNELS[name])
+    except Exception as exc:  # pragma: no cover - environment-dependent
+        for name in _KERNEL_NAMES:
+            globals()[name] = PY_KERNELS[name]
+        raise BackendUnavailable(f"numba JIT setup failed: {exc}") from exc
+    _jitted = True
+
+
+class _ArrayKernelBackend:
+    """Shared marshalling shim from the stack API onto array-only kernels."""
+
+    name = "numba"
+    compiled = True
+    counter = "dbm.backend_numba"
+
+    def __init__(self, kernels) -> None:
+        self._k = kernels
+
+    def close(self, stack: np.ndarray) -> np.ndarray:
+        return self._k["_k_close"](stack)
+
+    def extrapolate(self, stack: np.ndarray, caps: np.ndarray) -> np.ndarray:
+        return self._k["_k_extrapolate"](stack, np.ascontiguousarray(caps))
+
+    def inclusion_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._k["_k_inclusion"](
+            np.ascontiguousarray(a), np.ascontiguousarray(b)
+        )
+
+    def reduce_indices(self, stack: np.ndarray) -> List[int]:
+        keep = self._k["_k_reduce"](np.ascontiguousarray(stack))
+        return [int(i) for i in np.flatnonzero(keep)]
+
+    def subsume_frontier(
+        self, new: np.ndarray, seen: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if seen is None or not seen.shape[0]:
+            seen = np.empty((0,) + new.shape[1:], dtype=np.int64)
+        keep, drop = self._k["_k_subsume"](
+            np.ascontiguousarray(new), np.ascontiguousarray(seen)
+        )
+        return keep, drop
+
+    def hidden_post_step(
+        self,
+        stack: np.ndarray,
+        guard: Sequence[Constraint],
+        resets: Sequence[int],
+        shifts: Sequence[Tuple[int, int]],
+        invariant: Sequence[Constraint],
+        delay: bool,
+    ) -> np.ndarray:
+        return self._k["_k_hidden_post"](
+            stack,
+            marshal_constraints(guard),
+            marshal_clocks(resets),
+            marshal_pairs(shifts),
+            marshal_constraints(invariant),
+            delay,
+        )
+
+    def any_hidden_post(
+        self,
+        stack: np.ndarray,
+        guard: Sequence[Constraint],
+        resets: Sequence[int],
+        shifts: Sequence[Tuple[int, int]],
+        invariant: Sequence[Constraint],
+    ) -> bool:
+        return bool(
+            self._k["_k_any_hidden_post"](
+                stack,
+                marshal_constraints(guard),
+                marshal_clocks(resets),
+                marshal_pairs(shifts),
+                marshal_constraints(invariant),
+            )
+        )
+
+
+class NumbaBackend(_ArrayKernelBackend):
+    """The JIT-compiled backend; construction fails without numba."""
+
+    def __init__(self) -> None:
+        jit_kernels()
+        super().__init__({name: globals()[name] for name in _KERNEL_NAMES})
+
+
+def python_kernels() -> _ArrayKernelBackend:
+    """The same kernel bodies, uncompiled.
+
+    Not registered for dispatch (it is strictly slower than numpy) —
+    this exists so the ``kernel`` differential check can fuzz the numba
+    loop logic on environments without numba installed.
+    """
+    backend = _ArrayKernelBackend(PY_KERNELS)
+    backend.name = "numba-py"
+    backend.compiled = False
+    backend.counter = "dbm.backend_numba_py"
+    return backend

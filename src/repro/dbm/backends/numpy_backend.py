@@ -1,0 +1,66 @@
+"""The pure-numpy kernel backend: the default and the reference.
+
+A thin class over the ``_*_ref`` bodies in :mod:`repro.dbm.stack` — the
+exact code every other backend is differentially fuzzed against.  It
+adds nothing: no marshalling, no copies, no extra counters beyond the
+dispatch layer's, so selecting ``numpy`` is byte- and cost-identical to
+the pre-seam kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import stack as _sk
+
+Constraint = Tuple[int, int, int]
+
+
+class NumpyBackend:
+    name = "numpy"
+    compiled = False
+    counter = "dbm.backend_numpy"
+
+    def close(self, stack: np.ndarray) -> np.ndarray:
+        return _sk._close_ref(stack)
+
+    def extrapolate(self, stack: np.ndarray, caps: np.ndarray) -> np.ndarray:
+        return _sk._extrapolate_ref(stack, caps)
+
+    def inclusion_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return _sk._inclusion_matrix_ref(a, b)
+
+    def reduce_indices(self, stack: np.ndarray) -> List[int]:
+        return _sk._reduce_indices_ref(stack)
+
+    def subsume_frontier(
+        self, new: np.ndarray, seen: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return _sk._subsume_frontier_ref(new, seen)
+
+    def hidden_post_step(
+        self,
+        stack: np.ndarray,
+        guard: Sequence[Constraint],
+        resets: Sequence[int],
+        shifts: Sequence[Tuple[int, int]],
+        invariant: Sequence[Constraint],
+        delay: bool,
+    ) -> np.ndarray:
+        return _sk._hidden_post_step_ref(
+            stack, guard, resets, shifts, invariant, delay
+        )
+
+    def any_hidden_post(
+        self,
+        stack: np.ndarray,
+        guard: Sequence[Constraint],
+        resets: Sequence[int],
+        shifts: Sequence[Tuple[int, int]],
+        invariant: Sequence[Constraint],
+    ) -> bool:
+        return _sk._any_hidden_post_ref(
+            stack, guard, resets, shifts, invariant
+        )

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..util import counters
+from . import backends as _backends
 from .bounds import (
     INF,
     INF_SOFT,
@@ -89,7 +90,7 @@ def _extra_caps(dim: int, key: Tuple[int, ...]):
 class DBM:
     """A canonical difference bound matrix (a convex clock zone)."""
 
-    __slots__ = ("m", "dim", "_empty", "_hash", "_key")
+    __slots__ = ("m", "dim", "_empty", "_hash", "_key", "_minkey")
 
     def __init__(self, matrix: np.ndarray, *, empty: bool = False):
         self.m = matrix
@@ -97,6 +98,7 @@ class DBM:
         self._empty = empty
         self._hash: Optional[int] = None
         self._key: Optional[bytes] = None
+        self._minkey: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -193,6 +195,20 @@ class DBM:
                 self._key = self.m.tobytes()
         return self._key
 
+    def minimal_key(self) -> bytes:
+        """A compact canonical key: the packed minimal constraint form.
+
+        Identifies the zone exactly like :meth:`hash_key` but is usually
+        far smaller than the full matrix bytes (see
+        :mod:`repro.dbm.minform`), so long-lived interning tables — the
+        explorer's zone table, the warm cache — prefer it.  Memoized.
+        """
+        if self._minkey is None:
+            from . import minform as _minform
+
+            self._minkey = _minform.minimal_key(self)
+        return self._minkey
+
     def __hash__(self) -> int:
         if self._hash is None:
             self._hash = hash(self.hash_key())
@@ -214,6 +230,10 @@ class DBM:
         :data:`repro.dbm.bounds.INF_SOFT`).
         """
         counters.inc("dbm.closures")
+        backend = _backends.active()
+        if backend.compiled:
+            counters.inc(backend.counter)
+            return bool(backend.close(m[None])[0])
         dim = m.shape[0]
         for k in range(dim):
             col = m[:, k : k + 1]

@@ -34,12 +34,17 @@ zone subtraction — whose answer is definitive — only for the leftovers.
 Disjointness (``stack.disjoint_mask``) is exact in both roles and prunes
 the subtraction loops further.
 
-Hybrid dispatch: below ``_BATCH_MIN`` member zones the per-zone DBM path
-is used instead — at one or two members the stacked kernel's fixed cost
-(gather, masks, re-wrap) exceeds the dispatch overhead it amortizes, and
-solver federations on near-convex models stay that small.  Both paths
-compute the same sets; the differential kernel tests drive each op
-through both and assert extensional equality.
+Hybrid dispatch: below ``stack.batch_min()`` member zones the per-zone
+DBM path is used instead — at one or two members the stacked kernel's
+fixed cost (gather, masks, re-wrap) exceeds the dispatch overhead it
+amortizes, and solver federations on near-convex models stay that
+small.  Federation ops are all comparison-style (cheap scalar
+fallback), so the threshold is backend-independent; ``REPRO_BATCH_MIN``
+overrides it.
+Every decision is recorded (``federation.batched_dispatch`` /
+``federation.scalar_dispatch``).  Both paths compute the same sets; the
+differential kernel tests drive each op through both and assert
+extensional equality.
 """
 
 from __future__ import annotations
@@ -53,9 +58,19 @@ from . import stack as _sk
 from .bounds import INF, LE_ZERO, negate
 from .dbm import DBM
 
-#: Below this many member zones, per-zone DBM ops beat the batched kernel
-#: (shared with the state-estimate closure; see ``stack.BATCH_MIN``).
-_BATCH_MIN = _sk.BATCH_MIN
+def _use_batched(batched: bool) -> bool:
+    """Record a batched-vs-scalar dispatch decision as it is made.
+
+    The threshold itself lives in :func:`repro.dbm.stack.batch_min`
+    (numpy-tuned default, ``REPRO_BATCH_MIN`` override); benchmarks
+    surface these counters in ``extra_info`` so a result always says
+    which path actually ran.
+    """
+    if batched:
+        counters.inc("federation.batched_dispatch")
+    else:
+        counters.inc("federation.scalar_dispatch")
+    return batched
 
 
 def subtract_zone(a: DBM, b: DBM) -> List[DBM]:
@@ -188,7 +203,9 @@ class Federation:
             return all(mine.includes(z) for z in other.zones)
         # Pre-filter: zones of `other` pointwise-included in a single zone
         # of `self` need no subtraction (exact per pair of convex zones).
-        if len(self.zones) + len(other.zones) < 2 * _BATCH_MIN:
+        if not _use_batched(
+            len(self.zones) + len(other.zones) >= 2 * _sk.batch_min()
+        ):
             for zone in other.zones:
                 if any(mine.includes(zone) for mine in self.zones):
                     continue
@@ -271,7 +288,8 @@ class Federation:
         the pair count is large enough to amortize one stacked closure)."""
         if not self.zones or not other.zones:
             return Federation.empty(self.dim)
-        if len(self.zones) * len(other.zones) < _BATCH_MIN * _BATCH_MIN:
+        bm = _sk.batch_min()
+        if not _use_batched(len(self.zones) * len(other.zones) >= bm * bm):
             out: List[DBM] = []
             for a in self.zones:
                 for b in other.zones:
@@ -286,7 +304,7 @@ class Federation:
         """Intersection with a single zone."""
         if zone.is_empty() or not self.zones:
             return Federation.empty(self.dim)
-        if len(self.zones) < _BATCH_MIN:
+        if not _use_batched(len(self.zones) >= _sk.batch_min()):
             out = []
             for a in self.zones:
                 c = a.intersect(zone)
@@ -301,7 +319,7 @@ class Federation:
         """Set difference ``self \\ zone`` (exact, possibly more zones)."""
         if zone.is_empty() or not self.zones:
             return self
-        if len(self.zones) < _BATCH_MIN:
+        if not _use_batched(len(self.zones) >= _sk.batch_min()):
             out: List[DBM] = []
             changed = False
             for a in self.zones:
@@ -352,7 +370,7 @@ class Federation:
         return Federation(self.dim, (fn(z) for z in self.zones))
 
     def _batchable(self) -> bool:
-        return len(self.zones) >= _BATCH_MIN
+        return _use_batched(len(self.zones) >= _sk.batch_min())
 
     def up(self) -> "Federation":
         """Delay successors of every member zone."""

@@ -13,11 +13,30 @@ Every function here operates on raw encoded-bound arrays (see
 returns boolean masks; wrapping rows back into :class:`~repro.dbm.DBM`
 objects is the caller's job (:mod:`repro.dbm.federation`).
 
+Backend seam
+============
+
+The hot kernels — ``close``, ``extrapolate``, ``inclusion_matrix``,
+``reduce_indices``, ``subsume_frontier``, ``hidden_post_step``,
+``any_hidden_post`` — dispatch through a pluggable
+:class:`~repro.dbm.backends.base.KernelBackend`
+(``REPRO_KERNEL_BACKEND=numpy|numba|cext|auto``).  The pure-numpy bodies
+live on as module-private ``_*_ref`` functions: they are the default
+backend, the differential ground truth the ``kernel`` fuzz check holds
+every other backend to, and they compose only each other (never the
+dispatched wrappers), so the reference path stays reference even while a
+compiled backend is active.  The cheap plumbing (gathers, masks,
+``reset``/``shift``/``up``, rescaling) stays plain numpy for every
+backend.
+
 Exactness notes:
 
 * ``close`` is the batched shortest-path closure: after it, each
   nonempty row is canonical, and the returned mask is exactly the set of
-  consistent (nonempty) rows.
+  consistent (nonempty) rows.  Backends must agree with the reference on
+  the mask and byte-for-byte on kept rows; rows the mask discards are
+  scratch (the reference leaves them partially closed, a compiled
+  backend may abandon them at the first negative diagonal).
 * ``inclusion_matrix`` is exact *per pair of convex zones* (canonical
   forms make inclusion a pointwise comparison); it is a sufficient but
   not necessary test for inclusion in a *union* of zones, which is why
@@ -29,20 +48,43 @@ Exactness notes:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..util import counters
+from . import backends as _backends
 from .bounds import INF, INF_SOFT, LE_ZERO, MAX_BOUND_CONST
 
 Constraint = Tuple[int, int, int]
 
-#: Below this many stacked zones the per-zone DBM path beats the batched
-#: kernel: at one or two members the kernel's fixed cost (gather, masks,
-#: re-wrap) exceeds the dispatch overhead it amortizes.  Shared by the
-#: federation layer and the state-estimate closure.
+#: Default batched-dispatch threshold: below this many stacked zones the
+#: per-zone DBM path beats the batched kernel — at one or two members
+#: the batched path's fixed cost (``np.stack`` gather, masks, re-wrap)
+#: exceeds the dispatch overhead it amortizes.  Callers should consult
+#: :func:`batch_min`, which folds in the ``REPRO_BATCH_MIN`` override.
 BATCH_MIN = 3
+
+
+def batch_min() -> int:
+    """The effective batched-vs-scalar dispatch threshold.
+
+    The ``REPRO_BATCH_MIN`` environment override if set, else
+    :data:`BATCH_MIN`.  The threshold is deliberately
+    backend-independent: the batched path's fixed cost is the
+    ``np.stack`` gather and result re-wrap, which no backend removes,
+    and a compiled backend accelerates the per-zone fallback too (the
+    scalar pipeline's closures dispatch through the same backend), so
+    measured crossover points barely move with the backend.
+    """
+    override = os.environ.get("REPRO_BATCH_MIN")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return BATCH_MIN
 
 
 def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -57,16 +99,14 @@ def stack_of(zones: Sequence) -> np.ndarray:
     return np.stack([z.m for z in zones])
 
 
-def close(stack: np.ndarray) -> np.ndarray:
-    """Batched Floyd-Warshall closure in place; returns the nonempty mask.
+# ---------------------------------------------------------------------------
+# Reference kernel bodies (the numpy backend, and the differential oracle).
+# ---------------------------------------------------------------------------
 
-    Each row of the returned boolean ``(k,)`` mask is True iff that
-    zone is consistent (no negative cycle); inconsistent rows are left
-    partially closed and must be discarded by the caller.
-    """
-    k, dim = stack.shape[0], stack.shape[-1]
-    counters.inc("stack.closures")
-    counters.inc("stack.closed_zones", k)
+
+def _close_ref(stack: np.ndarray) -> np.ndarray:
+    """Reference batched Floyd-Warshall closure in place; nonempty mask."""
+    dim = stack.shape[-1]
     for via in range(dim):
         col = stack[:, :, via : via + 1]
         row = stack[:, via : via + 1, :]
@@ -75,6 +115,163 @@ def close(stack: np.ndarray) -> np.ndarray:
     np.copyto(stack, INF, where=stack >= INF_SOFT)
     diag = np.diagonal(stack, axis1=1, axis2=2)
     return ~(diag < LE_ZERO).any(axis=1)
+
+
+def _constrain_impl(
+    stack: np.ndarray, constraints: Sequence[Constraint], close_fn
+) -> np.ndarray:
+    """Body of :func:`constrain`, parameterized on the closure kernel."""
+    k = stack.shape[0]
+    changed = np.zeros(k, dtype=bool)
+    for i, j, enc in constraints:
+        col = stack[:, i, j]
+        mask = col > enc
+        if mask.any():
+            col[mask] = enc
+            changed |= mask
+    keep = np.ones(k, dtype=bool)
+    if changed.any():
+        sub = stack[changed]
+        ok = close_fn(sub)
+        stack[changed] = sub
+        keep[changed] = ok
+    return keep
+
+
+def _constrain_ref(
+    stack: np.ndarray, constraints: Sequence[Constraint]
+) -> np.ndarray:
+    return _constrain_impl(stack, constraints, _close_ref)
+
+
+def _extrapolate_ref(
+    stack: np.ndarray, max_consts: Sequence[int]
+) -> np.ndarray:
+    """Reference batched ExtraM extrapolation in place; nonempty mask."""
+    k_arr = np.asarray(max_consts, dtype=np.int64)
+    dim = stack.shape[-1]
+    finite = stack < INF
+    upper = finite & ((stack >> 1) > k_arr[None, :, None])
+    upper[:, 0, :] = False
+    idx = np.arange(dim)
+    upper[:, idx, idx] = False
+    low_row = stack[:, 0, :]
+    lower = (low_row < INF) & ((low_row >> 1) < -k_arr[None, :])
+    changed = upper.any(axis=(1, 2)) | lower.any(axis=1)
+    keep = np.ones(stack.shape[0], dtype=bool)
+    if not changed.any():
+        return keep
+    stack[upper] = INF
+    if lower.any():
+        repl = np.broadcast_to((-k_arr) << 1, low_row.shape)
+        low_row[lower] = repl[lower]
+    sub = stack[changed]
+    ok = _close_ref(sub)
+    stack[changed] = sub
+    keep[changed] = ok
+    return keep
+
+
+def _inclusion_matrix_ref(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference ``(ka, kb)`` inclusion matrix (pointwise comparison)."""
+    return (a[:, None] >= b[None, :]).all(axis=(2, 3))
+
+
+def _reduce_indices_ref(stack: np.ndarray) -> List[int]:
+    """Reference pairwise-subsumption reduction survivors."""
+    inc = _inclusion_matrix_ref(stack, stack)
+    strict = inc & ~inc.T
+    equal = inc & inc.T
+    dominated = strict.any(axis=0) | np.triu(equal, 1).any(axis=0)
+    return [int(i) for i in np.flatnonzero(~dominated)]
+
+
+def _subsume_frontier_ref(
+    new: np.ndarray, seen: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference frontier admission masks ``(keep_new, drop_seen)``."""
+    keep = np.zeros(new.shape[0], dtype=bool)
+    keep[_reduce_indices_ref(new)] = True
+    if seen is None or not seen.shape[0]:
+        return keep, np.zeros(0, dtype=bool)
+    keep &= ~_inclusion_matrix_ref(seen, new).any(axis=0)
+    if keep.any():
+        drop_seen = _inclusion_matrix_ref(new[keep], seen).any(axis=0)
+    else:
+        drop_seen = np.zeros(seen.shape[0], dtype=bool)
+    return keep, drop_seen
+
+
+def _hidden_post_step_ref(
+    stack: np.ndarray,
+    guard: Sequence[Constraint],
+    reset_clocks: Sequence[int],
+    shifts: Sequence[Tuple[int, int]],
+    invariant: Sequence[Constraint],
+    delay: bool,
+) -> np.ndarray:
+    """Reference fused ``delay ∘ post`` step; see :func:`hidden_post_step`."""
+    keep = (
+        _constrain_ref(stack, guard)
+        if guard
+        else np.ones(stack.shape[0], bool)
+    )
+    if reset_clocks:
+        reset(stack, reset_clocks)
+    if shifts:
+        shift(stack, shifts)
+    if invariant:
+        keep &= _constrain_ref(stack, invariant)
+    if delay:
+        up(stack)
+        if invariant:
+            keep &= _constrain_ref(stack, invariant)
+    return keep
+
+
+def _any_hidden_post_ref(
+    stack: np.ndarray,
+    guard: Sequence[Constraint],
+    reset_clocks: Sequence[int],
+    shifts: Sequence[Tuple[int, int]],
+    invariant: Sequence[Constraint],
+) -> bool:
+    """Reference existence-only probe; see :func:`any_hidden_post`."""
+    keep = (
+        _constrain_ref(stack, guard)
+        if guard
+        else np.ones(stack.shape[0], bool)
+    )
+    if not keep.any():
+        return False
+    if not invariant:
+        return True
+    if reset_clocks:
+        reset(stack, reset_clocks)
+    if shifts:
+        shift(stack, shifts)
+    keep &= _constrain_ref(stack, invariant)
+    return bool(keep.any())
+
+
+# ---------------------------------------------------------------------------
+# Dispatched kernels (public API — unchanged signatures).
+# ---------------------------------------------------------------------------
+
+
+def close(stack: np.ndarray) -> np.ndarray:
+    """Batched Floyd-Warshall closure in place; returns the nonempty mask.
+
+    Each row of the returned boolean ``(k,)`` mask is True iff that
+    zone is consistent (no negative cycle); inconsistent rows are left
+    in a backend-specific partially-closed state and must be discarded
+    by the caller.
+    """
+    counters.inc("stack.closures")
+    counters.inc("stack.closed_zones", stack.shape[0])
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.close(stack)
 
 
 def up(stack: np.ndarray) -> None:
@@ -123,23 +320,11 @@ def constrain(
     """Intersect every zone with a conjunction of encoded constraints.
 
     In place; returns the nonempty mask.  Zones no constraint actually
-    tightens are left untouched (no re-closure).
+    tightens are left untouched (no re-closure).  The re-closure of the
+    tightened sub-stack goes through the dispatched :func:`close`, so a
+    compiled backend accelerates this path too.
     """
-    k = stack.shape[0]
-    changed = np.zeros(k, dtype=bool)
-    for i, j, enc in constraints:
-        col = stack[:, i, j]
-        mask = col > enc
-        if mask.any():
-            col[mask] = enc
-            changed |= mask
-    keep = np.ones(k, dtype=bool)
-    if changed.any():
-        sub = stack[changed]
-        ok = close(sub)
-        stack[changed] = sub
-        keep[changed] = ok
-    return keep
+    return _constrain_impl(stack, constraints, close)
 
 
 def intersect_zone(stack: np.ndarray, zone_m: np.ndarray) -> np.ndarray:
@@ -173,28 +358,11 @@ def extrapolate(stack: np.ndarray, max_consts: Sequence[int]) -> np.ndarray:
     ``max_consts[i]`` is clock ``i``'s maximum constant (index 0 unused).
     Only sound for diagonal-free models, like the per-zone version.
     """
-    k_arr = np.asarray(max_consts, dtype=np.int64)
-    dim = stack.shape[-1]
-    finite = stack < INF
-    upper = finite & ((stack >> 1) > k_arr[None, :, None])
-    upper[:, 0, :] = False
-    idx = np.arange(dim)
-    upper[:, idx, idx] = False
-    low_row = stack[:, 0, :]
-    lower = (low_row < INF) & ((low_row >> 1) < -k_arr[None, :])
-    changed = upper.any(axis=(1, 2)) | lower.any(axis=1)
-    keep = np.ones(stack.shape[0], dtype=bool)
-    if not changed.any():
-        return keep
-    stack[upper] = INF
-    if lower.any():
-        repl = np.broadcast_to((-k_arr) << 1, low_row.shape)
-        low_row[lower] = repl[lower]
-    sub = stack[changed]
-    ok = close(sub)
-    stack[changed] = sub
-    keep[changed] = ok
-    return keep
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.extrapolate(
+        stack, np.asarray(max_consts, dtype=np.int64)
+    )
 
 
 def inclusion_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -202,7 +370,9 @@ def inclusion_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
     Exact for canonical nonempty zones (pointwise bound comparison).
     """
-    return (a[:, None] >= b[None, :]).all(axis=(2, 3))
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.inclusion_matrix(a, b)
 
 
 def disjoint_mask(stack: np.ndarray, zone_m: np.ndarray) -> np.ndarray:
@@ -252,23 +422,17 @@ def hidden_post_step(
     intersection, and (iff ``delay``) the delay closure re-bounded by the
     same invariant — the constraint lists are shared by every row because
     the caller groups members by discrete state.  Returns the nonempty
-    mask; rows already inconsistent after the guard still flow through
-    the remaining (cheap, mask-safe) steps and stay masked out.
+    mask; rows already inconsistent after the guard still end up masked
+    out (a compiled backend may stop working on them early, so their
+    contents are scratch).
     """
     counters.inc("stack.hidden_posts")
     counters.inc("stack.hidden_post_zones", stack.shape[0])
-    keep = constrain(stack, guard) if guard else np.ones(stack.shape[0], bool)
-    if reset_clocks:
-        reset(stack, reset_clocks)
-    if shifts:
-        shift(stack, shifts)
-    if invariant:
-        keep &= constrain(stack, invariant)
-    if delay:
-        up(stack)
-        if invariant:
-            keep &= constrain(stack, invariant)
-    return keep
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.hidden_post_step(
+        stack, guard, reset_clocks, shifts, invariant, delay
+    )
 
 
 def any_hidden_post(
@@ -292,17 +456,11 @@ def any_hidden_post(
     """
     counters.inc("stack.any_posts")
     counters.inc("stack.any_post_zones", stack.shape[0])
-    keep = constrain(stack, guard) if guard else np.ones(stack.shape[0], bool)
-    if not keep.any():
-        return False
-    if not invariant:
-        return True
-    if reset_clocks:
-        reset(stack, reset_clocks)
-    if shifts:
-        shift(stack, shifts)
-    keep &= constrain(stack, invariant)
-    return bool(keep.any())
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.any_hidden_post(
+        stack, guard, reset_clocks, shifts, invariant
+    )
 
 
 def subsume_frontier(
@@ -318,16 +476,9 @@ def subsume_frontier(
     nonempty zone matrices of one discrete state.
     """
     counters.inc("stack.frontier_reductions")
-    keep = np.zeros(new.shape[0], dtype=bool)
-    keep[reduce_indices(new)] = True
-    if seen is None or not seen.shape[0]:
-        return keep, np.zeros(0, dtype=bool)
-    keep &= ~inclusion_matrix(seen, new).any(axis=0)
-    if keep.any():
-        drop_seen = inclusion_matrix(new[keep], seen).any(axis=0)
-    else:
-        drop_seen = np.zeros(seen.shape[0], dtype=bool)
-    return keep, drop_seen
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.subsume_frontier(new, seen)
 
 
 def reduce_indices(stack: np.ndarray) -> List[int]:
@@ -338,8 +489,6 @@ def reduce_indices(stack: np.ndarray) -> List[int]:
     equality class is kept) — the batched equivalent of the legacy
     per-pair reduction loop.
     """
-    inc = inclusion_matrix(stack, stack)
-    strict = inc & ~inc.T
-    equal = inc & inc.T
-    dominated = strict.any(axis=0) | np.triu(equal, 1).any(axis=0)
-    return [int(i) for i in np.flatnonzero(~dominated)]
+    backend = _backends.active()
+    counters.inc(backend.counter)
+    return backend.reduce_indices(stack)

@@ -58,8 +58,12 @@ import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..dbm import DBM, Federation, INF, LE_ZERO
-from ..dbm.bounds import add_bounds
+from ..dbm import (
+    DBM,
+    Federation,
+    minimal_constraints,
+    verified_minimal_constraints,
+)
 from ..semantics.system import System
 from ..ta.model import Network
 from ..tctl.goals import GoalPredicate
@@ -101,70 +105,16 @@ def warm_disabled() -> bool:
 # ----------------------------------------------------------------------
 
 
-def minimal_constraints(zone: DBM) -> List[Tuple[int, int, int]]:
-    """A minimal constraint system regenerating a canonical nonempty DBM.
-
-    The classic reduction (Larsen et al.): collapse zero-cycles first —
-    clocks ``i ~ j`` iff the bound sum ``m[i,j] + m[j,i]`` is exactly
-    ``<= 0`` — keeping one tight constraint cycle through each
-    equivalence class, then, among class representatives only (where
-    every remaining cycle has positive weight), drop any constraint
-    derivable through an intermediate representative.  Closure of the
-    result reproduces ``m`` exactly.
-    """
-    m = zone.m
-    dim = zone.dim
-    rep = list(range(dim))
-    for j in range(dim):
-        for i in range(j):
-            if rep[i] != i:
-                continue
-            a, b = int(m[i, j]), int(m[j, i])
-            if a < INF and b < INF and add_bounds(a, b) == LE_ZERO:
-                rep[j] = i
-                break
-    out: List[Tuple[int, int, int]] = []
-    classes: Dict[int, List[int]] = {}
-    for j in range(dim):
-        classes.setdefault(rep[j], []).append(j)
-    for members in classes.values():
-        if len(members) > 1:
-            for a, b in zip(members, members[1:] + members[:1]):
-                out.append((a, b, int(m[a, b])))
-    reps = sorted(classes)
-    for i in reps:
-        for j in reps:
-            if i == j:
-                continue
-            enc = int(m[i, j])
-            if enc >= INF:
-                continue
-            if i == 0 and enc == 1:  # implicit x_j >= 0 (LE_ZERO)
-                continue
-            derivable = False
-            for k in reps:
-                if k == i or k == j:
-                    continue
-                if add_bounds(int(m[i, k]), int(m[k, j])) <= enc:
-                    derivable = True
-                    break
-            if not derivable:
-                out.append((i, j, enc))
-    return out
-
-
 def zone_to_obj(zone: DBM) -> List[List[int]]:
     """A nonempty canonical zone as its minimal constraint list.
 
-    Round-trip verified: if reclosing the minimal system does not
-    reproduce the matrix byte-for-byte (it always should; this is a
-    guard, not a code path relied upon), fall back to the full
-    constraint set — still an exact round-trip by canonicity.
+    The reduction itself lives in :mod:`repro.dbm.minform` (it started
+    here and was promoted into the DBM layer); this wrapper keeps the
+    warm cache's historical fallback counter.
     """
-    cons = minimal_constraints(zone)
-    if DBM.from_constraints(zone.dim, cons).hash_key() != zone.hash_key():
-        counters.inc("solver.warm_minform_fallbacks")
-        cons = zone.nontrivial_constraints()
+    cons = verified_minimal_constraints(
+        zone, fallback_counter="solver.warm_minform_fallbacks"
+    )
     return [[int(i), int(j), int(enc)] for i, j, enc in cons]
 
 

@@ -35,6 +35,7 @@ from ..corpus import (
     fingerprint_core,
     plan_mutations,
 )
+from ..dbm import backends as dbm_backends
 from ..par import parse_jobs
 from ..util import counters
 from .differential import CHECKS, DiffConfig, run_campaign
@@ -171,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
         " families, structural hashes) to PATH — uploaded as a CI artifact"
         " by the nightly deep-fuzz job",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=["numpy", "numba", "cext", "auto"],
+        default=None,
+        metavar="NAME",
+        help="dispatch hot DBM kernels through this backend for the whole"
+        " campaign (numpy|numba|cext|auto; default: the"
+        " REPRO_KERNEL_BACKEND environment variable, else numpy)."
+        " Results are backend-independent — the always-on 'kernel' check"
+        " enforces exactness — so this is a speed/soak knob",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -277,6 +289,11 @@ def _report_payload(
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel_backend:
+        # Via the environment (not set_backend) so campaign worker
+        # processes inherit the same selection.
+        os.environ[dbm_backends.ENV_VAR] = args.kernel_backend
+        dbm_backends.set_backend(None)
     families = _parse_list(args.families, DEFAULT_FAMILIES, "family")
     checks = _parse_list(args.checks, CHECKS, "check")
     try:

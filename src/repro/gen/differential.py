@@ -68,7 +68,12 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..dbm import Federation
+import numpy as np
+
+from ..dbm import Federation, bound
+from ..dbm import backends as dbm_backends
+from ..dbm import stack as _sk
+from ..dbm.backends.numba_backend import python_kernels
 from ..game.solver import GameResult, OnTheFlySolver, TwoPhaseSolver
 from ..graph.explorer import ExplorationLimit, SimulationGraph
 from ..par import steal_map
@@ -94,7 +99,7 @@ from .networks import (
     generate_instance,
     mutate_instance,
 )
-from .zones import check_zone_algebra
+from .zones import check_zone_algebra, random_zone
 
 OK, SKIP, FAIL = "ok", "skip", "fail"
 
@@ -881,6 +886,162 @@ def check_warmstart(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult
 
 
 # ----------------------------------------------------------------------
+# Kernel backend differential
+# ----------------------------------------------------------------------
+
+
+def _random_kernel_constraints(
+    rng: random.Random, dim: int, max_n: int
+) -> List[Tuple[int, int, int]]:
+    out: List[Tuple[int, int, int]] = []
+    for _ in range(rng.randint(0, max_n)):
+        i = rng.randrange(dim)
+        j = rng.randrange(dim)
+        if i == j:
+            continue
+        out.append((i, j, bound(rng.randint(-4, 9), rng.random() < 0.5)))
+    return out
+
+
+def _kernel_stack(rng: random.Random, dim: int, k: int) -> np.ndarray:
+    """A ``(k, dim, dim)`` stack of random *canonical nonempty* zones."""
+    zones = []
+    while len(zones) < k:
+        zone = random_zone(rng, dim=dim, max_constraints=5)
+        if not zone.is_empty():
+            zones.append(zone)
+    return np.stack([z.m for z in zones])
+
+
+def _kernel_trial_mismatch(
+    rng: random.Random, backend
+) -> Optional[str]:
+    """Run every kernel once on random inputs; the first mismatch, or None.
+
+    The contract checked is the backend exactness contract
+    (:mod:`repro.dbm.backends.base`): masks identical to the numpy
+    reference, kept rows byte-identical; discarded rows are scratch.
+    """
+    dim = rng.randint(2, 5)
+    k = rng.randint(1, 6)
+    stack = _kernel_stack(rng, dim, k)
+    other = _kernel_stack(rng, dim, rng.randint(1, 4))
+
+    def rows_match(ref_m, got_m, keep) -> bool:
+        return bool(np.array_equal(ref_m[keep], got_m[keep]))
+
+    # close — on a deliberately un-closed (possibly inconsistent) stack.
+    raw = stack.copy()
+    for _ in range(rng.randint(0, 2 * k)):
+        z, i, j = rng.randrange(k), rng.randrange(dim), rng.randrange(dim)
+        if i != j:
+            raw[z, i, j] = bound(rng.randint(-6, 10), rng.random() < 0.5)
+    ref_m, got_m = raw.copy(), raw.copy()
+    ref_ok = _sk._close_ref(ref_m)
+    got_ok = backend.close(got_m)
+    if not np.array_equal(ref_ok, got_ok):
+        return f"close mask: ref={ref_ok.tolist()} got={got_ok.tolist()}"
+    if not rows_match(ref_m, got_m, ref_ok):
+        return "close kept rows differ"
+
+    # extrapolate — canonical input, random per-clock caps.
+    caps = [rng.randint(0, 8) for _ in range(dim)]
+    ref_m, got_m = stack.copy(), stack.copy()
+    ref_ok = _sk._extrapolate_ref(ref_m, caps)
+    got_ok = backend.extrapolate(got_m, np.asarray(caps, dtype=np.int64))
+    if not np.array_equal(ref_ok, got_ok):
+        return f"extrapolate mask: caps={caps}"
+    if not rows_match(ref_m, got_m, ref_ok):
+        return f"extrapolate kept rows differ: caps={caps}"
+
+    # inclusion_matrix / reduce_indices / subsume_frontier — read-only.
+    if not np.array_equal(
+        _sk._inclusion_matrix_ref(stack, other),
+        backend.inclusion_matrix(stack, other),
+    ):
+        return "inclusion_matrix differs"
+    if _sk._reduce_indices_ref(stack) != backend.reduce_indices(stack):
+        return "reduce_indices differs"
+    seen = other if rng.random() < 0.8 else None
+    ref_keep, ref_drop = _sk._subsume_frontier_ref(stack.copy(), seen)
+    got_keep, got_drop = backend.subsume_frontier(stack.copy(), seen)
+    if not (
+        np.array_equal(ref_keep, got_keep)
+        and np.array_equal(ref_drop, got_drop)
+    ):
+        return "subsume_frontier masks differ"
+
+    # hidden_post_step / any_hidden_post — full fused move pipeline.
+    guard = _random_kernel_constraints(rng, dim, 3)
+    invariant = _random_kernel_constraints(rng, dim, 3)
+    n_resets = rng.randint(0, dim - 1)
+    resets = rng.sample(range(1, dim), n_resets)
+    shifts = [
+        (c, rng.randint(0, 5))
+        for c in rng.sample(range(1, dim), rng.randint(0, dim - 1))
+    ]
+    delay = rng.random() < 0.5
+    ref_m, got_m = stack.copy(), stack.copy()
+    ref_ok = _sk._hidden_post_step_ref(
+        ref_m, guard, resets, shifts, invariant, delay
+    )
+    got_ok = backend.hidden_post_step(
+        got_m, guard, resets, shifts, invariant, delay
+    )
+    if not np.array_equal(ref_ok, got_ok):
+        return (
+            f"hidden_post_step mask: guard={guard} resets={resets}"
+            f" shifts={shifts} inv={invariant} delay={delay}"
+        )
+    if not rows_match(ref_m, got_m, ref_ok):
+        return (
+            f"hidden_post_step kept rows differ: guard={guard}"
+            f" resets={resets} shifts={shifts} inv={invariant}"
+            f" delay={delay}"
+        )
+    ref_any = _sk._any_hidden_post_ref(
+        stack.copy(), guard, resets, shifts, invariant
+    )
+    got_any = backend.any_hidden_post(
+        stack.copy(), guard, resets, shifts, invariant
+    )
+    if bool(ref_any) != bool(got_any):
+        return f"any_hidden_post: ref={ref_any} got={got_any}"
+    return None
+
+
+def check_kernel(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    """Backend exactness differential: every loadable kernel backend
+    (plus the numba bodies run as pure Python, so the loop logic is
+    fuzzed even where no JIT or C toolchain exists) against the numpy
+    reference kernels, on seeded random zone stacks.
+
+    The compiled analogue of ``REPRO_ESTIMATE_SCALAR``'s scalar/batched
+    estimate differential: always on, so no campaign can silently run on
+    a kernel backend that was never cross-checked.
+    """
+    backends_under_test = [python_kernels()]
+    for name in dbm_backends.available_backends():
+        if name == "numpy":
+            continue  # the reference itself
+        backends_under_test.append(dbm_backends.resolve(name))
+    rng = random.Random(instance.seed ^ 0x6B65726E)  # "kern"
+    for trial in range(8):
+        trial_seed = rng.randrange(2**63)
+        for backend in backends_under_test:
+            mismatch = _kernel_trial_mismatch(
+                random.Random(trial_seed), backend
+            )
+            if mismatch:
+                return CheckResult(
+                    "kernel",
+                    FAIL,
+                    f"backend {backend.name!r} trial {trial}: {mismatch}",
+                )
+    return CheckResult("kernel", OK)
+
+
+# ----------------------------------------------------------------------
 # Registry, per-instance runner, shrinking
 # ----------------------------------------------------------------------
 
@@ -891,6 +1052,7 @@ CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
     "composition": check_composition,
     "estimate": check_estimate,
     "warmstart": check_warmstart,
+    "kernel": check_kernel,
 }
 
 

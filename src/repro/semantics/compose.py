@@ -41,10 +41,11 @@ batched guard/reset/invariant/delay pipeline per internal move
 inclusion-matrix comparison for frontier subsumption
 (:func:`repro.dbm.stack.subsume_frontier`), one vectorized rescale
 (:func:`repro.dbm.stack.scale_stack`).  Groups below
-:data:`repro.dbm.stack.BATCH_MIN` members take the per-zone path, which
-is also kept wholesale (``batch=False``, or the ``REPRO_ESTIMATE_SCALAR``
-environment variable) as the differential reference the fuzz harness
-cross-checks the kernels against.
+:func:`repro.dbm.stack.batch_min` members take the per-zone path
+(``REPRO_BATCH_MIN`` overrides the threshold), and the
+per-zone path is also kept wholesale (``batch=False``, or the
+``REPRO_ESTIMATE_SCALAR`` environment variable) as the differential
+reference the fuzz harness cross-checks the kernels against.
 
 Both paths use the same *pruning* subsumption — a newly admitted zone
 evicts the retained zones it strictly dominates — so the retained set at
@@ -67,7 +68,6 @@ import numpy as np
 from ..dbm import DBM
 from ..dbm import stack as _sk
 from ..dbm.bounds import INF, MAX_BOUND_CONST, decode, le
-from ..dbm.stack import BATCH_MIN
 from ..expr.env import Declarations
 from ..ta.model import ModelError
 from ..util import counters
@@ -154,7 +154,9 @@ class StateEstimate:
         if batch is None:
             batch = not os.environ.get("REPRO_ESTIMATE_SCALAR")
         self.batch = bool(batch)
-        self.batch_min = BATCH_MIN if batch_min is None else max(1, batch_min)
+        self.batch_min = (
+            _sk.batch_min() if batch_min is None else max(1, batch_min)
+        )
         self.scale = 1
         # Largest time scale for which every scaled model constant stays
         # within the DBM kernel's sound range; beyond it rescaling raises

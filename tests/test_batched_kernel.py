@@ -17,7 +17,9 @@ import pytest
 from hypothesis import given, settings
 
 from repro.dbm import DBM, Federation, le
+from repro.dbm import backends as backends_mod
 from repro.dbm import stack as sk
+from repro.dbm.backends.numba_backend import python_kernels
 from repro.dbm.federation import _reduce_pairwise
 from repro.gen.zones import random_federation, random_point, random_zone
 from tests.zone_strategies import (
@@ -27,6 +29,16 @@ from tests.zone_strategies import (
     federations,
     zones,
 )
+
+#: Every kernel backend loadable here, plus the numba loop bodies run as
+#: pure Python (so the JIT logic is exercised even without numba).
+BACKENDS = backends_mod.available_backends() + ["numba-py"]
+
+
+def backend_instance(name):
+    if name == "numba-py":
+        return python_kernels()
+    return backends_mod.resolve(name)
 
 
 def legacy_map(fed, fn):
@@ -96,10 +108,12 @@ def check_all_ops(fed, rng):
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("backend_name", BACKENDS)
 @settings(max_examples=60, deadline=None)
 @given(big_federations())
-def test_batched_ops_match_legacy_on_big_federations(fed):
-    check_all_ops(fed, random.Random(0))
+def test_batched_ops_match_legacy_on_big_federations(backend_name, fed):
+    with backends_mod.use_backend(backend_instance(backend_name)):
+        check_all_ops(fed, random.Random(0))
 
 
 @settings(max_examples=40, deadline=None)
@@ -221,7 +235,8 @@ def test_duplicate_zones_reduce_to_one():
     assert len(fed) == 1
 
 
-def test_stack_close_matches_per_zone_close():
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_stack_close_matches_per_zone_close(backend_name):
     rng = random.Random(99)
     raw = []
     for _ in range(8):
@@ -231,12 +246,13 @@ def test_stack_close_matches_per_zone_close():
         m = z.m.copy()
         m[1, 0] = le(rng.randint(-3, 6))  # possibly inconsistent tightening
         raw.append(m)
-    if not raw:
-        return
-    stack = np.stack([m.copy() for m in raw])
-    keep = sk.close(stack)
-    for idx, m in enumerate(raw):
-        reference = DBM._from_raw(m.copy())
+    assert raw
+    # References computed under the default backend, before switching.
+    references = [DBM._from_raw(m.copy()) for m in raw]
+    with backends_mod.use_backend(backend_instance(backend_name)):
+        stack = np.stack([m.copy() for m in raw])
+        keep = sk.close(stack)
+    for idx, reference in enumerate(references):
         assert bool(keep[idx]) == (not reference.is_empty())
         if keep[idx]:
             assert np.array_equal(stack[idx], reference.m)
@@ -245,6 +261,16 @@ def test_stack_close_matches_per_zone_close():
 # ----------------------------------------------------------------------
 # Seeded bulk differential: > 500 fuzzed federations through every op
 # ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bulk_fuzzed_federations_across_backends(backend_name):
+    """Fuzzed federations through every batched op, per kernel backend."""
+    rng = random.Random(0xBA7C4E)
+    with backends_mod.use_backend(backend_instance(backend_name)):
+        for trial in range(40):
+            fed = random_federation(rng, DIM, max_zones=6)
+            check_all_ops(fed, rng)
 
 
 @pytest.mark.parametrize("chunk", range(5))

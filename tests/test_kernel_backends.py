@@ -1,0 +1,378 @@
+"""Kernel backend seam: registry, dispatch, and minimal-form interning.
+
+Covers the selection/fallback behavior of :mod:`repro.dbm.backends`
+(environment variable, ``auto`` probing, unavailable-backend fallback,
+counters), the ``REPRO_BATCH_MIN`` dispatch override, per-backend
+exactness differentials on the hot kernels, and the minimal-constraint
+form promoted into :mod:`repro.dbm.minform` (round-trip and
+key-stability properties, plus the explorer's zone-object interning
+built on it).
+"""
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dbm import DBM, minimal_constraints, verified_minimal_constraints
+from repro.dbm import backends as backends_mod
+from repro.dbm import stack as sk
+from repro.dbm.backends.base import BackendUnavailable, KernelBackend
+from repro.dbm.backends.numba_backend import python_kernels
+from repro.gen.zones import random_zone
+from repro.graph.explorer import SimulationGraph
+from repro.semantics.system import System
+from repro.ta.builder import NetworkBuilder
+from repro.util import counters
+from tests.zone_strategies import DIM, diagonal_zones, zones
+
+AVAILABLE = backends_mod.available_backends()
+UNDER_TEST = AVAILABLE + ["numba-py"]
+
+
+def instance_of(name):
+    if name == "numba-py":
+        return python_kernels()
+    return backends_mod.resolve(name)
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Each test starts from an unresolved selection and a clean env."""
+    monkeypatch.delenv(backends_mod.ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_BATCH_MIN", raising=False)
+    previous = backends_mod.set_backend(None)
+    yield
+    backends_mod.set_backend(None)
+
+
+# ----------------------------------------------------------------------
+# Registry / selection
+# ----------------------------------------------------------------------
+
+
+def test_numpy_always_available_and_default():
+    assert "numpy" in AVAILABLE
+    backend = backends_mod.active()
+    assert backend.name == "numpy"
+    assert not backend.compiled
+    assert isinstance(backend, KernelBackend)
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(backends_mod.ENV_VAR, "numpy")
+    backends_mod.set_backend(None)
+    assert backends_mod.active().name == "numpy"
+
+
+def test_auto_resolves_to_some_available_backend():
+    backend = backends_mod.resolve("auto")
+    assert backend.name in AVAILABLE
+
+
+def test_unavailable_explicit_backend_falls_back_with_warning():
+    counters.reset()
+    backends_mod._warned_fallback = False
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = backends_mod.resolve("no-such-backend")
+    assert backend.name == "numpy"
+    assert counters.export()["counts"]["dbm.backend_fallbacks"] == 1
+    assert any("no-such-backend" in str(w.message) for w in caught)
+
+
+def test_resolution_and_dispatch_counters():
+    counters.reset()
+    with backends_mod.use_backend(backends_mod.resolve("numpy")):
+        sk.close(np.stack([DBM.universal(3).m.copy()]))
+    exported = counters.export()["counts"]
+    assert exported["dbm.backend_selected_numpy"] == 1
+    assert exported["dbm.backend_numpy"] >= 1
+
+
+def test_use_backend_restores_previous():
+    before = backends_mod.active().name
+    with backends_mod.use_backend(python_kernels()) as installed:
+        assert backends_mod.active() is installed
+    assert backends_mod.active().name == before
+
+
+def test_every_available_backend_satisfies_protocol():
+    for name in UNDER_TEST:
+        backend = instance_of(name)
+        assert isinstance(backend, KernelBackend)
+        assert backend.counter.startswith("dbm.backend_")
+
+
+# ----------------------------------------------------------------------
+# Dispatch threshold
+# ----------------------------------------------------------------------
+
+
+def test_batch_min_default_and_override(monkeypatch):
+    assert sk.batch_min() == sk.BATCH_MIN
+    monkeypatch.setenv("REPRO_BATCH_MIN", "7")
+    assert sk.batch_min() == 7
+    monkeypatch.setenv("REPRO_BATCH_MIN", "0")
+    assert sk.batch_min() == 1  # clamped to at least one
+    monkeypatch.setenv("REPRO_BATCH_MIN", "junk")
+    assert sk.batch_min() == sk.BATCH_MIN
+
+
+def test_federation_records_dispatch_decisions(monkeypatch):
+    from repro.dbm import Federation, le
+
+    counters.reset()
+    strips = [
+        DBM.from_constraints(3, [(1, 0, le(b)), (0, 1, le(-b + 1))])
+        for b in (2, 4, 6, 8)
+    ]
+    small = Federation(3, strips[:2])
+    big = Federation(3, strips)
+    assert len(small) == 2 < sk.batch_min() <= len(big) == 4
+    small.intersect_zone(strips[0])  # below threshold: scalar path
+    big.intersect_zone(strips[0])  # above threshold: batched path
+    exported = counters.export()["counts"]
+    assert exported.get("federation.scalar_dispatch", 0) >= 1
+    assert exported.get("federation.batched_dispatch", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Per-backend kernel differentials
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", UNDER_TEST)
+def test_backend_close_matches_reference(backend_name):
+    backend = instance_of(backend_name)
+    rng = random.Random(7)
+    for _ in range(25):
+        dim = rng.randint(2, 5)
+        zs = [random_zone(rng, dim) for _ in range(rng.randint(1, 5))]
+        zs = [z for z in zs if not z.is_empty()] or [DBM.universal(dim)]
+        raw = np.stack([z.m for z in zs])
+        for _ in range(rng.randint(0, 4)):
+            i, j = rng.randrange(dim), rng.randrange(dim)
+            if i != j:
+                raw[rng.randrange(len(zs)), i, j] = rng.randint(-9, 17)
+        ref_m, got_m = raw.copy(), raw.copy()
+        ref_ok = sk._close_ref(ref_m)
+        got_ok = backend.close(got_m)
+        assert np.array_equal(ref_ok, got_ok)
+        assert np.array_equal(ref_m[ref_ok], got_m[ref_ok])
+
+
+@pytest.mark.parametrize("backend_name", UNDER_TEST)
+def test_backend_fused_post_matches_reference(backend_name):
+    backend = instance_of(backend_name)
+    rng = random.Random(11)
+    for _ in range(25):
+        dim = rng.randint(3, 5)
+        zs = []
+        while len(zs) < rng.randint(1, 4):
+            z = random_zone(rng, dim)
+            if not z.is_empty():
+                zs.append(z)
+        stack = np.stack([z.m for z in zs])
+        from repro.dbm import bound
+
+        cons = lambda n: [
+            (i, j, bound(rng.randint(-4, 8), rng.random() < 0.5))
+            for i, j in [
+                (rng.randrange(dim), rng.randrange(dim))
+                for _ in range(rng.randint(0, n))
+            ]
+            if i != j
+        ]
+        guard, inv = cons(3), cons(3)
+        resets = rng.sample(range(1, dim), rng.randint(0, dim - 1))
+        shifts = [
+            (c, rng.randint(0, 4))
+            for c in rng.sample(range(1, dim), rng.randint(0, dim - 1))
+        ]
+        delay = rng.random() < 0.5
+        ref_m, got_m = stack.copy(), stack.copy()
+        ref_ok = sk._hidden_post_step_ref(
+            ref_m, guard, resets, shifts, inv, delay
+        )
+        got_ok = backend.hidden_post_step(
+            got_m, guard, resets, shifts, inv, delay
+        )
+        assert np.array_equal(ref_ok, got_ok)
+        assert np.array_equal(ref_m[ref_ok], got_m[ref_ok])
+        assert backend.any_hidden_post(
+            stack.copy(), guard, resets, shifts, inv
+        ) == sk._any_hidden_post_ref(stack.copy(), guard, resets, shifts, inv)
+
+
+@pytest.mark.parametrize("backend_name", UNDER_TEST)
+def test_backend_subsumption_matches_reference(backend_name):
+    backend = instance_of(backend_name)
+    rng = random.Random(13)
+    for _ in range(25):
+        dim = rng.randint(2, 5)
+
+        def stack_of(n):
+            zs = []
+            while len(zs) < n:
+                z = random_zone(rng, dim)
+                if not z.is_empty():
+                    zs.append(z)
+            return np.stack([z.m for z in zs])
+
+        new = stack_of(rng.randint(1, 5))
+        seen = stack_of(rng.randint(1, 4)) if rng.random() < 0.8 else None
+        assert np.array_equal(
+            sk._inclusion_matrix_ref(new, new),
+            backend.inclusion_matrix(new, new),
+        )
+        assert sk._reduce_indices_ref(new) == backend.reduce_indices(new)
+        ref_keep, ref_drop = sk._subsume_frontier_ref(new.copy(), seen)
+        got_keep, got_drop = backend.subsume_frontier(new.copy(), seen)
+        assert np.array_equal(ref_keep, got_keep)
+        assert np.array_equal(ref_drop, got_drop)
+
+
+@pytest.mark.parametrize(
+    "backend_name", [n for n in UNDER_TEST if n != "numpy"]
+)
+def test_estimate_session_identical_across_backends(backend_name):
+    """End-to-end: a monitor session agrees exactly with the numpy run."""
+    from fractions import Fraction
+
+    from repro.semantics import StateEstimate
+
+    net = NetworkBuilder("pair")
+    net.clock("x", "y")
+    net.input_channel("go")
+    net.output_channel("done", "hop")
+    net.interface("go", "done")
+    a = net.automaton("A")
+    a.location("Idle", initial=True)
+    a.location("Busy", "x <= 3")
+    a.location("End")
+    a.edge("Idle", "Busy", sync="go?", assign="x := 0")
+    a.edge("Busy", "End", sync="hop!", guard="x >= 1", assign="y := 0")
+    network = net.build()
+
+    def drive():
+        estimate = StateEstimate(System(network), max_states=256)
+        trace = []
+        trace.append(estimate.observe("go", "input"))
+        trace.append(estimate.max_quiescence())
+        trace.append(estimate.advance(Fraction(1, 2)))
+        trace.append(estimate.max_quiescence())
+        trace.append(estimate.enabled_labels("output"))
+        trace.append(
+            sorted(
+                (m.locs, m.vars, m.zone.hash_key())
+                for m in estimate.states
+            )
+        )
+        return trace
+
+    reference = drive()
+    with backends_mod.use_backend(instance_of(backend_name)):
+        assert drive() == reference
+
+
+# ----------------------------------------------------------------------
+# Minimal-constraint form (repro.dbm.minform)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(zones())
+def test_minform_round_trip(zone):
+    if zone.is_empty():
+        return
+    cons = minimal_constraints(zone)
+    rebuilt = DBM.from_constraints(zone.dim, cons)
+    assert rebuilt.hash_key() == zone.hash_key()
+    assert len(cons) <= len(zone.nontrivial_constraints())
+
+
+@settings(max_examples=80, deadline=None)
+@given(diagonal_zones())
+def test_minform_round_trip_diagonal(zone):
+    if zone.is_empty():
+        return
+    cons = verified_minimal_constraints(zone)
+    assert DBM.from_constraints(zone.dim, cons).hash_key() == zone.hash_key()
+
+
+@settings(max_examples=60, deadline=None)
+@given(zones())
+def test_minimal_key_stability(zone):
+    """Equal zones (however constructed) share one minimal key."""
+    key = zone.minimal_key()
+    assert key == zone.minimal_key()  # memo is stable
+    if zone.is_empty():
+        assert key == DBM.empty(zone.dim).minimal_key()
+        return
+    rebuilt = DBM.from_constraints(
+        zone.dim, minimal_constraints(zone)
+    )
+    assert rebuilt.minimal_key() == key
+    full = DBM.from_constraints(zone.dim, zone.nontrivial_constraints())
+    assert full.minimal_key() == key
+
+
+def test_minimal_key_distinguishes_zones():
+    from repro.dbm import le
+
+    a = DBM.from_constraints(DIM, [(1, 0, le(4))])
+    b = DBM.from_constraints(DIM, [(1, 0, le(5))])
+    assert a.minimal_key() != b.minimal_key()
+    assert a.minimal_key() != DBM.empty(DIM).minimal_key()
+
+
+def test_minimal_key_smaller_than_matrix_key():
+    from repro.dbm import le
+
+    zone = DBM.from_constraints(6, [(1, 0, le(4)), (0, 2, le(-1))])
+    assert len(zone.minimal_key()) < len(zone.hash_key())
+
+
+def test_warm_reexports_minform():
+    from repro.game import warm
+
+    assert warm.minimal_constraints is minimal_constraints
+
+
+# ----------------------------------------------------------------------
+# Explorer zone interning
+# ----------------------------------------------------------------------
+
+
+def _loop_network():
+    net = NetworkBuilder("loop")
+    net.clock("x")
+    net.output_channel("tick")
+    a = net.automaton("A")
+    a.location("L", "x <= 2", initial=True)
+    a.edge("L", "L", sync="tick!", guard="x >= 1", assign="x := 0")
+    return net.build()
+
+
+def test_explorer_interns_equal_zones():
+    graph = SimulationGraph(System(_loop_network()))
+    graph.explore_all()
+    ids = {}
+    for node in graph.nodes:
+        ids.setdefault(node.zone.minimal_key(), set()).add(
+            id(node.zone)
+        )
+    for key, objects in ids.items():
+        assert len(objects) == 1, "equal zones must share one DBM object"
+
+
+def test_explorer_interning_preserves_graph_shape():
+    reference = SimulationGraph(System(_loop_network()))
+    reference.explore_all()
+    again = SimulationGraph(System(_loop_network()))
+    again.explore_all()
+    assert reference.node_count == again.node_count
+    assert reference.edge_count == again.edge_count
