@@ -179,6 +179,51 @@ def main(argv=None) -> int:
                 for key, value in info.items()
             )
             print(f"| `{name}` | {backend} | {cells or '—'} |")
+
+    # Fault-probe overhead, when the run recorded it (the chaos-control
+    # benchmarks tag themselves with a faults_mode extra_info).  Each
+    # armed_idle/disarmed pair shares a name modulo the mode token;
+    # armed-but-never-firing probes are supposed to cost nothing, so a
+    # pair whose ratio exceeds the regression threshold gets the same
+    # loud fail-soft warning as a timing regression.
+    pairs: Dict[str, Dict[str, str]] = {}
+    for name, info in sorted(extras.items()):
+        mode = info.get("faults_mode")
+        if mode in ("disarmed", "armed_idle"):
+            pairs.setdefault(name.replace(mode, "*"), {})[mode] = name
+    probe_rows = []
+    for base, modes in sorted(pairs.items()):
+        if not {"disarmed", "armed_idle"} <= set(modes):
+            continue
+        disarmed = cur.get(modes["disarmed"], 0.0)
+        armed = cur.get(modes["armed_idle"], 0.0)
+        if disarmed > 0 and armed > 0:
+            probe_rows.append((base, disarmed, armed, armed / disarmed))
+    if probe_rows:
+        print()
+        print("### Fault-probe overhead (armed-idle vs disarmed, current run)")
+        print()
+        print("| benchmark | disarmed (ms) | armed idle (ms) | overhead |")
+        print("|---|---:|---:|---:|")
+        for base, disarmed, armed, ratio in probe_rows:
+            marker = " ⚠️" if ratio > 1 + args.threshold else ""
+            print(
+                f"| `{base}` | {disarmed * 1000:.3f} | {armed * 1000:.3f} |"
+                f" {ratio:.2f}x{marker} |"
+            )
+        print()
+        noisy = [r for r in probe_rows if r[3] > 1 + args.threshold]
+        if noisy:
+            worst = max(noisy, key=lambda r: r[3])
+            print(
+                f"**WARNING**: armed-idle fault probes exceed the"
+                f" {args.threshold:.0%} noise threshold on {len(noisy)}"
+                f" pair(s) (worst: `{worst[0]}` at {worst[3]:.2f}x)."
+                f" Disarmed sites must stay ~free; investigate the probe."
+            )
+        else:
+            print("Armed-idle fault probes are within noise of the"
+                  " disarmed path.")
     return 0
 
 

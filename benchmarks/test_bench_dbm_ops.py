@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro import faults
 from repro.dbm import DBM, Federation, le
 from repro.dbm import backends as kernel_backends
 from repro.dbm import stack as sk
@@ -213,6 +214,52 @@ def test_bench_kernel_subsume_frontier(benchmark, kernel_stacks, k):
     keep_new, drop_seen = benchmark(run)
     assert keep_new.shape == (k,)
     assert drop_seen.shape == (seen.shape[0],)
+    _record_backend(benchmark)
+
+
+# ----------------------------------------------------------------------
+# Fault-probe controls
+# ----------------------------------------------------------------------
+#
+# The chaos fabric (repro.faults) plants probes on hot paths — one per
+# guarded kernel call, one per server frame.  These paired controls
+# price the probe itself: ``disarmed`` is the default no-plan path (a
+# module-global load plus an ``is None`` test), ``armed_idle`` arms a
+# plan whose only rule matches no benchmarked site, so the per-site
+# match cache is exercised without a fault ever firing.  The mode lands
+# in ``extra_info`` and ``bench_delta.py`` compares each pair, warning
+# when the armed-idle overhead exceeds the noise threshold.
+
+FAULT_MODES = ["disarmed", "armed_idle"]
+IDLE_PLAN = "bench.never.fires:*"
+
+
+def test_bench_fault_probe_disarmed(benchmark):
+    """The bare disarmed probe, 1024 back-to-back calls: the price every
+    guarded kernel call / server frame pays when no plan is armed.  Not
+    paired with an armed mode — a bare-probe microbench would amplify
+    the (still nanosecond-scale) armed match path far past the noise
+    threshold; the real-work controls below carry that comparison."""
+    with faults.injected(None):
+
+        def run():
+            fired = 0
+            for _ in range(1024):
+                if faults.should_fire("dbm.cext.compute"):
+                    fired += 1
+            return fired
+
+        assert benchmark(run) == 0
+
+
+@pytest.mark.parametrize("mode", FAULT_MODES)
+def test_bench_kernel_close_fault_control(benchmark, kernel_stacks, mode):
+    """Real guarded-kernel work (close at k=32) under each probe mode."""
+    _, raw = kernel_stacks[32]
+    with faults.injected(IDLE_PLAN if mode == "armed_idle" else None):
+        keep = benchmark(lambda: sk.close(raw.copy()))
+    assert keep.shape == (32,)
+    benchmark.extra_info["faults_mode"] = mode
     _record_backend(benchmark)
 
 

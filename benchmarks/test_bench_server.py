@@ -97,6 +97,27 @@ def test_bench_server_sessions(benchmark, concurrency):
     benchmark.extra_info["peak_states"] = stats["peak_states"]
 
 
+@pytest.mark.parametrize("mode", ["disarmed", "armed_idle"])
+def test_bench_server_sessions_fault_control(benchmark, mode):
+    """Fault-probe control: the per-frame server probes priced against
+    an armed-but-idle plan (no site ever fires).  bench_delta.py pairs
+    the two modes and warns if the armed overhead exceeds noise."""
+    from repro import faults
+
+    spec = "bench.never.fires:*" if mode == "armed_idle" else None
+
+    def run():
+        with faults.injected(spec):
+            elapsed, frames, stats = run_wave(10)
+        assert len(frames) == 10
+        assert all(f["verdict"] == "pass" for f in frames)
+        return elapsed
+
+    elapsed = benchmark(run)
+    benchmark.extra_info["faults_mode"] = mode
+    benchmark.extra_info["sessions_per_sec"] = round(10 / elapsed, 1)
+
+
 def test_bench_server_observe_latency(benchmark):
     """p50/p99 observe latency: answered wait -> next server frame,
     sampled mid-session while 20 background sessions churn."""

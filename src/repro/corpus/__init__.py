@@ -32,7 +32,13 @@ from .schedule import (
     plan_mutations,
     tasks_from_lists,
 )
-from .store import Corpus, CorpusEntry, coverage_signature
+from .store import (
+    Corpus,
+    CorpusEntry,
+    CorruptEntry,
+    coverage_signature,
+    entry_checksum,
+)
 
 __all__ = [
     "CampaignCheckpoint",
@@ -41,7 +47,9 @@ __all__ = [
     "fingerprint_core",
     "Corpus",
     "CorpusEntry",
+    "CorruptEntry",
     "coverage_signature",
+    "entry_checksum",
     "MergeStats",
     "merge_corpora",
     "MutationTask",

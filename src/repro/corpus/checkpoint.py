@@ -31,6 +31,7 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
+from .. import faults
 from ..gen.differential import InstanceReport
 from .schedule import MutationTask, tasks_from_lists
 
@@ -76,6 +77,7 @@ class CampaignCheckpoint:
         self.fingerprint: Optional[Dict[str, object]] = None
         self._completed: Dict[int, InstanceReport] = {}
         self._handle = None
+        self._torn_at: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -103,10 +105,12 @@ class CampaignCheckpoint:
         """
         fingerprint: Optional[Dict[str, object]] = None
         completed: Dict[int, InstanceReport] = {}
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.decode("utf-8").split("\n")
         if lines and lines[-1] == "":
             lines.pop()
+        good_bytes = 0
         for pos, line in enumerate(lines):
             try:
                 row = json.loads(line)
@@ -116,6 +120,7 @@ class CampaignCheckpoint:
                 raise CheckpointMismatch(
                     f"{self.path}: malformed journal line {pos + 1}"
                 )
+            good_bytes += len(line.encode("utf-8")) + 1
             if pos == 0:
                 if row.get("kind") != _KIND_HEADER:
                     raise CheckpointMismatch(
@@ -144,6 +149,13 @@ class CampaignCheckpoint:
                     f"{self.path}: journal belongs to a different campaign"
                     f" (differs in: {', '.join(mismatched)})"
                 )
+        if good_bytes < len(raw):
+            # Drop the torn tail *on disk* before appending, or the
+            # next record would merge into the half-written line — lost
+            # on the next load and malformed (a middle line) on the one
+            # after that.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
         self.fingerprint = fingerprint
         self._completed = completed
         self._handle = open(self.path, "a", encoding="utf-8")
@@ -187,8 +199,22 @@ class CampaignCheckpoint:
     def _append(self, row: Dict[str, object]) -> None:
         if self._handle is None:  # pragma: no cover - misuse guard
             raise RuntimeError("checkpoint not started or loaded")
-        self._handle.write(
-            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+        if self._torn_at is not None:
+            # A previous append was injected-torn; a real tear can only
+            # ever sit at the tail, so the next successful append first
+            # truncates it away (exactly what crash recovery does).
+            self._handle.truncate(self._torn_at)
+            self._handle.seek(self._torn_at)
+            self._torn_at = None
+        line = json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        if faults.should_fire("corpus.checkpoint.write"):
+            # Injected mid-append kill: flush half a line and stop, the
+            # exact torn tail :meth:`load` is contracted to survive.
+            self._torn_at = self._handle.tell()
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            return
+        self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())

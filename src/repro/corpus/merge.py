@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
+from ..util import counters
 from .store import Corpus
 
 __all__ = ["MergeStats", "merge_corpora"]
@@ -25,31 +26,46 @@ class MergeStats:
 
     added: int = 0
     duplicates: int = 0
+    skipped: int = 0
     per_source: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
             "added": self.added,
             "duplicates": self.duplicates,
+            "skipped": self.skipped,
             "per_source": self.per_source,
         }
 
 
+def _corrupt_count() -> int:
+    return counters.export()["counts"].get("corpus.corrupt_entries", 0)
+
+
 def merge_corpora(dest: str, sources: Iterable[str]) -> MergeStats:
-    """Union every source corpus into ``dest`` (created if missing)."""
+    """Union every source corpus into ``dest`` (created if missing).
+
+    Corrupt source entries are skipped (the store's iteration
+    quarantine), counted per source in ``skipped`` — one rotten file in
+    one shard never sinks the nightly union.
+    """
     corpus = Corpus(dest)
     stats = MergeStats()
     for source in sources:
         added = duplicates = 0
+        corrupt_before = _corrupt_count()
         for entry in Corpus(source):
             if corpus.add(entry):
                 added += 1
             else:
                 duplicates += 1
+        skipped = _corrupt_count() - corrupt_before
         stats.added += added
         stats.duplicates += duplicates
+        stats.skipped += skipped
         stats.per_source[source] = {
             "added": added,
             "duplicates": duplicates,
+            "skipped": skipped,
         }
     return stats

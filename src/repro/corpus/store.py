@@ -33,6 +33,20 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from .. import faults
+from ..util import counters
+
+
+class CorruptEntry(ValueError):
+    """An on-disk corpus entry failed to parse or verify."""
+
+
+def entry_checksum(payload: Dict[str, object]) -> str:
+    """Checksum of an entry payload (the ``checksum`` key excluded)."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
 #: Coverage counters are log2-bucketed before hashing: ``867`` and
 #: ``901`` closures are the same behaviour, ``8`` and ``8000`` are not.
 #: Buckets absorb run-to-run jitter (memo caches, scheduling) that raw
@@ -116,12 +130,34 @@ class Corpus:
     def _path(self, structural_hash: str) -> str:
         return os.path.join(self.entries_dir, f"{structural_hash}.json")
 
+    def _load_path(self, path: str) -> CorpusEntry:
+        """Parse and verify one entry file; :class:`CorruptEntry` on rot.
+
+        Entries written before checksums (no ``checksum`` key) still
+        load — ``fsck --repair`` upgrades them in place.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise CorruptEntry(f"{path}: not a JSON object")
+            recorded = payload.get("checksum")
+            if recorded is not None and recorded != entry_checksum(payload):
+                raise CorruptEntry(f"{path}: checksum mismatch")
+            return CorpusEntry.from_dict(payload)
+        except CorruptEntry:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CorruptEntry(f"{path}: {exc}") from exc
+
     def get(self, structural_hash: str) -> Optional[CorpusEntry]:
         path = self._path(structural_hash)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                return CorpusEntry.from_dict(json.load(handle))
+            return self._load_path(path)
         except FileNotFoundError:
+            return None
+        except CorruptEntry:
+            counters.inc("corpus.corrupt_entries")
             return None
 
     def add(self, entry: CorpusEntry) -> bool:
@@ -135,9 +171,15 @@ class Corpus:
         path = self._path(entry.structural_hash)
         if os.path.exists(path):
             return False
+        payload = entry.to_dict()
+        payload["checksum"] = entry_checksum(payload)
         blob = json.dumps(
-            entry.to_dict(), sort_keys=True, indent=1, ensure_ascii=False
+            payload, sort_keys=True, indent=1, ensure_ascii=False
         )
+        if faults.should_fire("corpus.store.write"):
+            # Injected torn write: the entry lands half-written, exactly
+            # what a crashed writer without the tmp+rename dance leaves.
+            blob = blob[: max(1, len(blob) // 2)]
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(blob + "\n")
@@ -172,14 +214,20 @@ class Corpus:
         )
 
     def __iter__(self) -> Iterator[CorpusEntry]:
-        """Entries in sorted filename order (deterministic)."""
+        """Entries in sorted filename order (deterministic).
+
+        Corrupt entries — torn writes, bit rot, checksum mismatches —
+        are skipped with a ``corpus.corrupt_entries`` counter bump, so
+        one bad file never aborts a campaign; ``fsck`` reports and
+        quarantines them out of band.
+        """
         for name in sorted(os.listdir(self.entries_dir)):
             if not name.endswith(".json"):
                 continue
-            with open(
-                os.path.join(self.entries_dir, name), "r", encoding="utf-8"
-            ) as handle:
-                yield CorpusEntry.from_dict(json.load(handle))
+            try:
+                yield self._load_path(os.path.join(self.entries_dir, name))
+            except CorruptEntry:
+                counters.inc("corpus.corrupt_entries")
 
     def entries(self) -> List[CorpusEntry]:
         return list(self)
@@ -197,4 +245,76 @@ class Corpus:
             "entries": len(entries),
             "signatures": len({e.signature for e in entries}),
             "families": len({e.family for e in entries}),
+        }
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
+    def fsck(self, repair: bool = False) -> Dict[str, object]:
+        """Verify every entry file; optionally repair the directory.
+
+        Returns ``{"checked", "ok", "corrupt", "missing_checksum",
+        "quarantined", "upgraded"}`` where ``corrupt`` lists unreadable
+        or checksum-failing files.  With ``repair=True``, corrupt files
+        move to ``<root>/quarantine/`` (preserved for forensics, out of
+        the campaign's way) and legacy entries without a checksum are
+        rewritten with one.
+        """
+        corrupt: List[str] = []
+        missing: List[str] = []
+        checked = 0
+        for name in sorted(os.listdir(self.entries_dir)):
+            if not name.endswith(".json"):
+                continue
+            checked += 1
+            path = os.path.join(self.entries_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if not isinstance(payload, dict):
+                    raise CorruptEntry("not a JSON object")
+                recorded = payload.get("checksum")
+                if recorded is not None and recorded != entry_checksum(
+                    payload
+                ):
+                    raise CorruptEntry("checksum mismatch")
+                CorpusEntry.from_dict(payload)
+                if recorded is None:
+                    missing.append(name)
+            except (CorruptEntry, ValueError, KeyError, TypeError):
+                corrupt.append(name)
+        quarantined = upgraded = 0
+        if repair:
+            if corrupt:
+                os.makedirs(self.quarantine_dir(), exist_ok=True)
+            for name in corrupt:
+                os.replace(
+                    os.path.join(self.entries_dir, name),
+                    os.path.join(self.quarantine_dir(), name),
+                )
+                quarantined += 1
+            for name in missing:
+                path = os.path.join(self.entries_dir, name)
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                payload["checksum"] = entry_checksum(payload)
+                blob = json.dumps(
+                    payload, sort_keys=True, indent=1, ensure_ascii=False
+                )
+                tmp = f"{path}.tmp"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(blob + "\n")
+                os.replace(tmp, path)
+                upgraded += 1
+        return {
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "corrupt": corrupt,
+            "missing_checksum": missing,
+            "quarantined": quarantined,
+            "upgraded": upgraded,
         }

@@ -31,11 +31,13 @@ import warnings
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Union
 
+from ... import faults
 from ...util import counters
 from .base import BackendUnavailable, KernelBackend
 
 __all__ = [
     "BackendUnavailable",
+    "GuardedBackend",
     "KernelBackend",
     "active",
     "available_backends",
@@ -56,8 +58,105 @@ _active: Optional[KernelBackend] = None
 _warned_fallback = False
 
 
+class GuardedBackend:
+    """A compiled backend with per-call demotion to the numpy reference.
+
+    A ``.so`` that loads but faults at runtime — a cffi/ctypes dispatch
+    error, a marshalling type error, or an injected
+    ``dbm.<name>.compute`` fault — must cost one slow call, never the
+    campaign.  Every kernel call is guarded: on any exception the call
+    reruns on the pure-numpy reference with a ``dbm.backend_demotions``
+    counter bump, and the caller never notices (the backends are
+    byte-exact against the reference by contract).
+
+    Soundness of replaying on the same buffers: catchable compiled-path
+    failures happen during argument marshalling or FFI dispatch —
+    *before* the C kernel writes — and injected faults fire at call
+    entry, so the demoted call sees pristine inputs.  (A fault inside
+    the C body itself is a segfault, which no guard can catch.)
+    """
+
+    def __init__(self, inner: KernelBackend):
+        self._inner = inner
+        self.name = inner.name
+        self.compiled = inner.compiled
+        self.counter = inner.counter
+        self._site = f"dbm.{inner.name}.compute"
+        self._reference: Optional[KernelBackend] = None
+
+    def _demote(self):
+        counters.inc("dbm.backend_demotions")
+        if self._reference is None:
+            from .numpy_backend import NumpyBackend
+
+            self._reference = NumpyBackend()
+        return self._reference
+
+    def close(self, stack):
+        try:
+            faults.fire(self._site)
+            return self._inner.close(stack)
+        except Exception:
+            return self._demote().close(stack)
+
+    def extrapolate(self, stack, caps):
+        try:
+            faults.fire(self._site)
+            return self._inner.extrapolate(stack, caps)
+        except Exception:
+            return self._demote().extrapolate(stack, caps)
+
+    def inclusion_matrix(self, a, b):
+        try:
+            faults.fire(self._site)
+            return self._inner.inclusion_matrix(a, b)
+        except Exception:
+            return self._demote().inclusion_matrix(a, b)
+
+    def reduce_indices(self, stack):
+        try:
+            faults.fire(self._site)
+            return self._inner.reduce_indices(stack)
+        except Exception:
+            return self._demote().reduce_indices(stack)
+
+    def subsume_frontier(self, new, seen):
+        try:
+            faults.fire(self._site)
+            return self._inner.subsume_frontier(new, seen)
+        except Exception:
+            return self._demote().subsume_frontier(new, seen)
+
+    def hidden_post_step(self, stack, guard, resets, shifts, invariant, delay):
+        try:
+            faults.fire(self._site)
+            return self._inner.hidden_post_step(
+                stack, guard, resets, shifts, invariant, delay
+            )
+        except Exception:
+            return self._demote().hidden_post_step(
+                stack, guard, resets, shifts, invariant, delay
+            )
+
+    def any_hidden_post(self, stack, guard, resets, shifts, invariant):
+        try:
+            faults.fire(self._site)
+            return self._inner.any_hidden_post(
+                stack, guard, resets, shifts, invariant
+            )
+        except Exception:
+            return self._demote().any_hidden_post(
+                stack, guard, resets, shifts, invariant
+            )
+
+
 def _load(name: str) -> KernelBackend:
-    """Instantiate one backend by name; raises :class:`BackendUnavailable`."""
+    """Instantiate one backend by name; raises :class:`BackendUnavailable`.
+
+    Compiled backends come wrapped in :class:`GuardedBackend`, so a
+    runtime kernel fault demotes to the numpy reference instead of
+    crashing whatever campaign or server session made the call.
+    """
     if name == "numpy":
         from .numpy_backend import NumpyBackend
 
@@ -65,11 +164,13 @@ def _load(name: str) -> KernelBackend:
     if name == "numba":
         from .numba_backend import NumbaBackend
 
-        return NumbaBackend()
+        backend = NumbaBackend()
+        return GuardedBackend(backend) if backend.compiled else backend
     if name == "cext":
         from .cext import CExtBackend
 
-        return CExtBackend()
+        backend = CExtBackend()
+        return GuardedBackend(backend) if backend.compiled else backend
     raise BackendUnavailable(
         f"unknown kernel backend {name!r} "
         f"(expected one of {', '.join(BACKEND_NAMES)}, or 'auto')"

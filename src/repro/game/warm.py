@@ -64,6 +64,7 @@ from ..dbm import (
     minimal_constraints,
     verified_minimal_constraints,
 )
+from .. import faults
 from ..semantics.system import System
 from ..ta.model import Network
 from ..tctl.goals import GoalPredicate
@@ -232,19 +233,46 @@ class WinSetCache:
 
     # -- load / store --------------------------------------------------
 
+    @staticmethod
+    def _entry_sha(entry: dict) -> str:
+        body = {k: v for k, v in entry.items() if k != "sha"}
+        blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     def load(self, key: str) -> Optional[dict]:
-        """The stored entry for a key, or None (memory first, then disk)."""
+        """The stored entry for a key, or None (memory first, then disk).
+
+        A disk entry that fails to parse or fails its recorded ``sha``
+        checksum is a cache *miss*, never an error: the file is
+        quarantined aside (renamed ``.corrupt``) with a
+        ``solver.warm_corrupt_entries`` counter bump and the caller
+        falls back to a cold solve — degradation costs time, not
+        soundness.
+        """
         if self._memory is not None:
             entry = self._memory.get(key)
             if entry is not None:
                 return entry
         if self.directory:
+            path = self._path(key)
             try:
-                with open(self._path(key), encoding="utf-8") as handle:
+                with open(path, encoding="utf-8") as handle:
                     entry = json.load(handle)
-            except (OSError, ValueError):
+                if not isinstance(entry, dict):
+                    raise ValueError("not a JSON object")
+                recorded = entry.get("sha")
+                if recorded is not None and recorded != self._entry_sha(
+                    entry
+                ):
+                    raise ValueError("checksum mismatch")
+            except OSError:
                 return None
-            if not isinstance(entry, dict):
+            except ValueError:
+                counters.inc("solver.warm_corrupt_entries")
+                try:
+                    os.replace(path, path + ".corrupt")
+                except OSError:
+                    pass
                 return None
             if self._memory is not None:
                 self._memory[key] = entry
@@ -253,6 +281,8 @@ class WinSetCache:
 
     def store(self, key: str, entry: dict) -> None:
         """Persist an entry (in-process always; on disk when configured)."""
+        entry = dict(entry)
+        entry["sha"] = self._entry_sha(entry)
         if self._memory is not None:
             self._memory[key] = entry
         if self.directory:
@@ -260,8 +290,13 @@ class WinSetCache:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = path + f".tmp.{os.getpid()}"
             try:
+                blob = json.dumps(entry, separators=(",", ":"))
+                if faults.should_fire("warm.cache.write"):
+                    # Injected torn write: the entry lands truncated and
+                    # the next load quarantines it as a miss.
+                    blob = blob[: max(1, len(blob) // 2)]
                 with open(tmp, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, separators=(",", ":"))
+                    handle.write(blob)
                 os.replace(tmp, path)
             except OSError:
                 counters.inc("solver.warm_store_errors")

@@ -35,6 +35,7 @@ from ..corpus import (
     fingerprint_core,
     plan_mutations,
 )
+from .. import faults
 from ..dbm import backends as dbm_backends
 from ..par import parse_jobs
 from ..util import counters
@@ -183,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
         " Results are backend-independent — the always-on 'kernel' check"
         " enforces exactness — so this is a speed/soak knob",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="arm a deterministic fault-injection plan for the campaign"
+        " (see repro.faults), exported as REPRO_FAULTS so pool workers"
+        " self-arm; e.g. 'par.worker.crash:3;corpus.store.write:every=7'."
+        " When retries absorb every injected fault the report is"
+        " byte-identical to the fault-free run",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -294,6 +305,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # processes inherit the same selection.
         os.environ[dbm_backends.ENV_VAR] = args.kernel_backend
         dbm_backends.set_backend(None)
+    if args.faults:
+        # Arm here and via the environment: pool workers self-arm from
+        # REPRO_FAULTS at their first injection probe.
+        try:
+            faults.install(args.faults)
+        except ValueError as err:
+            raise SystemExit(f"--faults: {err}")
+        os.environ[faults.ENV_VAR] = args.faults
     families = _parse_list(args.families, DEFAULT_FAMILIES, "family")
     checks = _parse_list(args.checks, CHECKS, "check")
     try:

@@ -70,6 +70,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..dbm import Federation, bound
 from ..dbm import backends as dbm_backends
 from ..dbm import stack as _sk
@@ -1042,6 +1043,108 @@ def check_kernel(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
 
 
 # ----------------------------------------------------------------------
+# Check: fault-injection degradation
+# ----------------------------------------------------------------------
+
+
+def check_faults(instance: GeneratedInstance, cfg: DiffConfig) -> CheckResult:
+    """Degradation differential over :mod:`repro.faults`.
+
+    Always on, like ``kernel``: every campaign proves that graceful
+    degradation is *exact*, not just survivable.  Three legs, all
+    seeded from the instance and run under local
+    :func:`repro.faults.injected` plans (which nest: an ambient chaos
+    plan from ``REPRO_FAULTS`` is shelved for the duration, so the
+    check's verdict never depends on outside fault schedules):
+
+    1. *plan determinism* — two parses of the same probabilistic spec
+       must make identical fire decisions, hit for hit;
+    2. *kernel demotion* — every compiled backend, forced to demote on
+       every call by an injected ``dbm.<name>.compute`` fault, must
+       return byte-identical masks and rows to the numpy reference;
+    3. *store degradation* — a corpus write torn by an injected
+       ``corpus.store.write`` fault must quarantine on read (no torn
+       payload ever served) and ``fsck(repair=True)`` must restore the
+       store to clean.
+    """
+    import tempfile
+
+    from ..corpus.store import Corpus, CorpusEntry
+
+    # Leg 1: deterministic probabilistic plans.
+    spec = f"check.faults.site:p=0.5;seed={instance.seed & 0xFFFFFF}"
+    first = faults.FaultPlan.parse(spec)
+    second = faults.FaultPlan.parse(spec)
+    with faults.injected(None):
+        seq_a = [first.should_fire("check.faults.site") for _ in range(64)]
+        seq_b = [second.should_fire("check.faults.site") for _ in range(64)]
+    if seq_a != seq_b:
+        return CheckResult(
+            "faults", FAIL, f"probabilistic plan not deterministic: {spec!r}"
+        )
+    if not any(seq_a) or all(seq_a):
+        return CheckResult(
+            "faults", FAIL, f"p=0.5 plan degenerate over 64 hits: {spec!r}"
+        )
+
+    # Leg 2: injected kernel faults demote byte-exactly.
+    rng = random.Random(instance.seed ^ 0x66617574)  # "faut"
+    for name in dbm_backends.available_backends():
+        if name == "numpy":
+            continue
+        backend = dbm_backends.resolve(name)
+        stack = _kernel_stack(rng, rng.randint(2, 4), rng.randint(1, 5))
+        caps = np.asarray(
+            [rng.randint(0, 8) for _ in range(stack.shape[1])],
+            dtype=np.int64,
+        )
+        ref_m, got_m = stack.copy(), stack.copy()
+        ref_ok = _sk._extrapolate_ref(ref_m, caps.tolist())
+        with faults.injected(f"dbm.{name}.compute:*"):
+            got_ok = backend.extrapolate(got_m, caps)
+        if not np.array_equal(ref_ok, got_ok) or not np.array_equal(
+            ref_m[ref_ok], got_m[ref_ok]
+        ):
+            return CheckResult(
+                "faults",
+                FAIL,
+                f"backend {name!r} demoted under injection but differs"
+                f" from the numpy reference",
+            )
+
+    # Leg 3: torn corpus writes quarantine and repair clean.
+    entry = CorpusEntry(
+        structural_hash=instance.structural_hash(),
+        seed=instance.seed,
+        family=instance.family,
+        signature="faults-check",
+        statuses={"faults": OK},
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        store = Corpus(tmp)
+        with faults.injected("corpus.store.write:1"):
+            store.add(entry)
+        if store.get(entry.structural_hash) is not None:
+            return CheckResult(
+                "faults", FAIL, "torn corpus entry served instead of"
+                " quarantined"
+            )
+        report = store.fsck(repair=True)
+        if report["corrupt"] and store.fsck()["corrupt"]:
+            return CheckResult(
+                "faults", FAIL, "fsck --repair left corrupt entries behind"
+            )
+        with faults.injected(None):
+            store.add(entry)
+        loaded = store.get(entry.structural_hash)
+        if loaded is None or loaded.seed != entry.seed:
+            return CheckResult(
+                "faults", FAIL, "repaired store refused a clean re-add"
+            )
+    return CheckResult("faults", OK)
+
+
+# ----------------------------------------------------------------------
 # Registry, per-instance runner, shrinking
 # ----------------------------------------------------------------------
 
@@ -1053,6 +1156,7 @@ CHECKS: Dict[str, Callable[[GeneratedInstance, DiffConfig], CheckResult]] = {
     "estimate": check_estimate,
     "warmstart": check_warmstart,
     "kernel": check_kernel,
+    "faults": check_faults,
 }
 
 
@@ -1181,6 +1285,41 @@ def _run_one_task(
     report = run_instance_checks(instance, diff_config, checks)
     report.mutation_seed = mutation_seed
     report.coverage = counters.diff(before, counters.export())
+    return report
+
+
+def _quarantined_report(
+    seed: int,
+    family: Optional[str],
+    mutation_seed: Optional[int],
+    gen_config: Optional[GenConfig],
+) -> InstanceReport:
+    """The deterministic stand-in for a task the pool quarantined.
+
+    Regenerated in the parent from the task's integers, so the report
+    (hash, description) is stable across runs and ``jobs`` values; the
+    single synthetic ``harness`` FAIL is deliberately free of anything
+    volatile (no pids, no tracebacks) for the same reason.  Harness
+    failures never shrink — there is no check to re-run.
+    """
+    if mutation_seed is None:
+        instance = generate_instance(seed, family, gen_config)
+    else:
+        instance = mutate_instance(seed, family, mutation_seed, gen_config)
+    report = InstanceReport(
+        seed=seed,
+        family=instance.family,
+        structural_hash=instance.structural_hash(),
+        description=instance.describe(),
+        results=[
+            CheckResult(
+                "harness",
+                FAIL,
+                "task quarantined: worker crashed or hung on every attempt",
+            )
+        ],
+    )
+    report.mutation_seed = mutation_seed
     return report
 
 
@@ -1383,11 +1522,26 @@ def run_campaign(
              check_names)
             for _, (task_seed, family, mutation_seed) in pending
         ]
+
+        def quarantined(pos: int, error: BaseException) -> None:
+            # A worker crashed/hung on this task through every retry:
+            # record a deterministic harness failure and keep going —
+            # one poison task costs itself, never the campaign.
+            task_seed, family, mutation_seed = pending[pos][1]
+            record(
+                pending[pos][0],
+                _quarantined_report(
+                    task_seed, family, mutation_seed, gen_config
+                ),
+            )
+
         steal_map(
             _run_one_task,
             payloads,
             jobs=jobs,
             on_result=lambda pos, report: record(pending[pos][0], report),
+            retries=2,
+            quarantine=quarantined,
         )
     else:
         for index, (task_seed, family, mutation_seed) in pending:
@@ -1423,6 +1577,8 @@ def run_campaign(
         for report in reports:
             if report.ok or report.shrunk is not None:
                 continue
+            if report.failures[0].name not in CHECKS:
+                continue  # synthetic harness failure: nothing to re-run
             if report.mutation_seed is None:
                 instance = generate_instance(
                     report.seed, report.family, gen_config

@@ -25,9 +25,19 @@ See :mod:`repro.par.pool` for the implementation and the determinism
 contract.
 """
 
-from .pool import auto_jobs, parse_jobs, resolve_jobs, starmap, steal_map
+from .pool import (
+    PoolDeathError,
+    TaskCrash,
+    auto_jobs,
+    parse_jobs,
+    resolve_jobs,
+    starmap,
+    steal_map,
+)
 
 __all__ = [
+    "PoolDeathError",
+    "TaskCrash",
     "auto_jobs",
     "parse_jobs",
     "resolve_jobs",

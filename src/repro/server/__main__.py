@@ -6,15 +6,24 @@ Examples::
     python -m repro.server --port 0            # ephemeral; prints the port
     python -m repro.server --unix /tmp/repro.sock
     python -m repro.server --clock realtime --timescale 0.1
+    python -m repro.server --idle-timeout 30 --drain-grace 10
+
+SIGTERM (and SIGINT) trigger a graceful drain: the listener closes,
+in-flight sessions get ``--drain-grace`` seconds to finish, stragglers
+are evicted to fail-sound INCONCLUSIVE verdicts, and the final stats
+snapshot prints before exit.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import signal
 import sys
 from fractions import Fraction
 
+from .. import faults
 from ..testing.session import SessionConfig
 from .server import ServerConfig, TestServer
 
@@ -87,6 +96,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="win-set solve cache directory: specs synthesized by any"
         " past run sharing the directory restore instead of re-solving",
     )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close a session INCONCLUSIVE when its peer sends no frame"
+        " (and no ping) for this long (default: wait forever)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM: seconds in-flight sessions may finish before"
+        " being evicted to INCONCLUSIVE",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="arm a deterministic fault-injection plan (see repro.faults),"
+        " e.g. 'server.conn.drop:every=50;seed=7'",
+    )
     return parser
 
 
@@ -107,6 +139,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         time_limit=args.time_limit,
         allow_cooperative=not args.no_cooperative,
         warm_cache=args.warm_cache,
+        idle_timeout=args.idle_timeout,
+        drain_grace=args.drain_grace,
     )
 
 
@@ -118,16 +152,36 @@ async def amain(config: ServerConfig) -> None:
         print(f"listening on {host}", flush=True)
     else:
         print(f"listening on {host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-mainloop / platform without signal support
+    serving = asyncio.ensure_future(server.serve_forever())
+    stopping = asyncio.ensure_future(stop.wait())
     try:
-        await server.serve_forever()
+        await asyncio.wait(
+            {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop.is_set():
+            print("draining...", flush=True)
+            stats = await server.drain()
+            print("drained " + json.dumps(stats, sort_keys=True), flush=True)
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (serving, stopping):
+            task.cancel()
+        await asyncio.gather(serving, stopping, return_exceptions=True)
         await server.close()
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults:
+        faults.install(args.faults)
     try:
         asyncio.run(amain(config_from_args(args)))
     except KeyboardInterrupt:

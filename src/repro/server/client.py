@@ -19,6 +19,7 @@ from typing import Optional, Tuple, Union
 
 from ..testing.implementation import SimulatedImplementation
 from ..testing.session import SessionConfig
+from ..util import counters
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -31,6 +32,10 @@ from .protocol import (
 )
 
 __all__ = ["IUTClient", "run_remote_test", "session_config_payload"]
+
+#: The synthetic terminal frame for a connection that died without a
+#: verdict — the one outcome :func:`run_remote_test` retries.
+_CONN_LOST = "connection closed without a verdict"
 
 
 def session_config_payload(
@@ -73,6 +78,33 @@ class IUTClient:
         reader, writer = await asyncio.open_unix_connection(path)
         return cls(reader, writer)
 
+    @classmethod
+    async def connect_retry(
+        cls,
+        host: str,
+        port: int,
+        *,
+        attempts: int = 5,
+        base_delay: float = 0.05,
+    ) -> "IUTClient":
+        """Connect with exponential backoff — rides out a server that
+        is still starting, restarting, or finishing a drain."""
+        delay = base_delay
+        last: Optional[Exception] = None
+        for attempt in range(max(1, attempts)):
+            try:
+                return await cls.connect(host, port)
+            except (ConnectionError, OSError) as err:
+                last = err
+                counters.inc("client.connect_retries")
+                if attempt + 1 < attempts:
+                    await asyncio.sleep(delay)
+                    delay *= 2
+        raise ConnectionError(
+            f"could not connect to {host}:{port}"
+            f" after {attempts} attempts: {last}"
+        )
+
     async def close(self) -> None:
         self.writer.close()
         try:
@@ -97,6 +129,18 @@ class IUTClient:
         if not line:
             return None  # server closed (eviction lands as a verdict first)
         return decode_frame(line.rstrip(b"\r\n"))
+
+    async def ping(self) -> dict:
+        """Heartbeat: send ``ping``, wait for the ``pong``.  Resets the
+        server's idle deadline; use between sessions (mid-session the
+        :meth:`run_session` loop absorbs stray pongs)."""
+        await self._send({"type": "ping"})
+        frame = await self._read()
+        if frame is None:
+            raise ConnectionError("connection closed during ping")
+        if frame.get("type") != "pong":
+            raise ProtocolError(f"expected pong, got {frame.get('type')!r}")
+        return frame
 
     async def run_session(
         self,
@@ -126,12 +170,9 @@ class IUTClient:
         while True:
             frame = await self._read()
             if frame is None:
-                return {
-                    "type": "error",
-                    "message": "connection closed without a verdict",
-                }
+                return {"type": "error", "message": _CONN_LOST}
             kind = frame["type"]
-            if kind == "ready":
+            if kind in ("ready", "pong"):
                 continue
             if kind in ("verdict", "error"):
                 return frame
@@ -180,21 +221,61 @@ def run_remote_test(
     *,
     config: Union[SessionConfig, dict, None] = None,
     profile: bool = False,
+    retries: int = 0,
+    backoff: float = 0.05,
 ) -> dict:
     """Synchronous one-shot: connect, run one session, disconnect.
 
     ``address`` is ``(host, port)`` for TCP or a path string for a UNIX
     socket.  Returns the terminal frame.
+
+    With ``retries`` > 0, a connection that dies *without a verdict*
+    (refused connect, mid-session drop) is retried up to that many
+    times with exponential ``backoff``, reconnecting from scratch —
+    fail-sound, because the session restarts from ``hello`` with the
+    implementation reset, never resuming a half-run.  Server ``error``
+    frames and real verdicts are final, never retried.
     """
 
-    async def go() -> dict:
+    async def connect() -> IUTClient:
         if isinstance(address, str):
-            client = await IUTClient.connect_unix(address)
-        else:
-            client = await IUTClient.connect(*address)
-        async with client:
-            return await client.run_session(
-                implementation, spec, config=config, profile=profile
-            )
+            return await IUTClient.connect_unix(address)
+        return await IUTClient.connect(*address)
+
+    async def go() -> dict:
+        frame = {"type": "error", "message": _CONN_LOST}
+        for attempt in range(max(1, retries + 1)):
+            if attempt:
+                counters.inc("client.reconnects")
+                await asyncio.sleep(backoff * (2 ** (attempt - 1)))
+            try:
+                client = await connect()
+            except (ConnectionError, OSError) as err:
+                frame = {
+                    "type": "error",
+                    "message": f"{_CONN_LOST}: connect failed: {err}",
+                }
+                continue
+            try:
+                async with client:
+                    frame = await client.run_session(
+                        implementation, spec, config=config, profile=profile
+                    )
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+            ) as err:
+                frame = {
+                    "type": "error",
+                    "message": f"{_CONN_LOST}: {err}",
+                }
+                continue
+            if frame.get("type") == "error" and str(
+                frame.get("message", "")
+            ).startswith(_CONN_LOST):
+                continue  # transient: the connection died verdict-less
+            return frame
+        return frame
 
     return asyncio.run(go())

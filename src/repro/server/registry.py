@@ -241,6 +241,9 @@ class RegistryStats:
     started: int = 0
     finished: int = 0
     evicted: int = 0
+    #: Sessions whose peer vanished mid-frame (the seat was released on
+    #: the spot; this just makes the disconnect observable).
+    disconnected: int = 0
     peak_sessions: int = 0
     peak_states: int = 0
 
@@ -358,3 +361,12 @@ class SessionRegistry:
         if handle.sid in self._sessions:
             self._drop(handle)
             self.stats.finished += 1
+
+    def evict_all(self, reason: str) -> int:
+        """Evict every live session (the server-drain path); returns
+        how many were cut.  Each eviction is fail-sound: the victim
+        gets an INCONCLUSIVE verdict frame and its transport closes."""
+        handles = list(self._sessions.values())
+        for handle in handles:
+            self._evict(handle, reason)
+        return len(handles)

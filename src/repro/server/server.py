@@ -25,6 +25,20 @@ Division of labour:
 Error containment: any protocol violation costs *that session* an
 ``error`` frame and its connection — the server and every other session
 keep running.
+
+Degradation under faults (network or injected, see :mod:`repro.faults`):
+
+* a peer that goes silent past ``idle_timeout`` costs its session a
+  fail-sound INCONCLUSIVE verdict (reason: idle deadline), never a
+  parked handler task — clients keep a long wait alive with ``ping``
+  frames, answered ``pong`` at any read point;
+* a peer that vanishes mid-frame releases its registry seat on the spot
+  (``server.disconnects`` counter + registry ``disconnected`` stat), so
+  a flapping client can never leak sessions or tracked-state budget;
+* :meth:`TestServer.drain` is the SIGTERM path: stop accepting, give
+  in-flight sessions ``drain_grace`` seconds to finish on their own,
+  then evict the stragglers to INCONCLUSIVE — no verdict is ever
+  invented, no connection is left ambiguous.
 """
 
 from __future__ import annotations
@@ -32,7 +46,9 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
+
+from .. import faults
 
 from ..testing.session import (
     Finish,
@@ -76,6 +92,10 @@ class _Closed(Exception):
     """Peer closed the connection (EOF on the reader)."""
 
 
+class _Stalled(Exception):
+    """Peer went silent past the idle deadline (no frame, no ping)."""
+
+
 @dataclass
 class ServerConfig:
     """Everything ``python -m repro.server`` can tune."""
@@ -93,6 +113,14 @@ class ServerConfig:
     time_limit: Optional[float] = None  # strategy-synthesis budget
     allow_cooperative: bool = True
     warm_cache: Optional[str] = None  # win-set solve cache directory
+    #: Seconds a connection may sit frame-less before its session is
+    #: closed with a fail-sound INCONCLUSIVE verdict.  ``ping`` frames
+    #: (answered ``pong``) reset the deadline, so a slow client stays
+    #: alive by heartbeating.  None = wait forever (the seed behaviour).
+    idle_timeout: Optional[float] = None
+    #: Seconds :meth:`TestServer.drain` lets in-flight sessions finish
+    #: before evicting them to INCONCLUSIVE.
+    drain_grace: float = 5.0
 
 
 class TestServer:
@@ -116,6 +144,7 @@ class TestServer:
             observe_timeout=self.config.observe_timeout,
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,6 +188,32 @@ class TestServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, grace: Optional[float] = None) -> dict:
+        """Graceful shutdown (the SIGTERM path): stop accepting, give
+        in-flight sessions ``grace`` seconds (default
+        ``config.drain_grace``) to finish on their own, then evict the
+        stragglers to fail-sound INCONCLUSIVE verdicts.  Returns the
+        post-drain :meth:`stats` snapshot."""
+        if grace is None:
+            grace = self.config.drain_grace
+        counters.inc("server.drains")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = {task for task in self._conn_tasks if not task.done()}
+        if pending:
+            _, pending = await asyncio.wait(pending, timeout=grace)
+        if pending:
+            # Grace expired: cut every live session the fail-sound way
+            # (verdict frame queued, transport closed) and reap idle
+            # connections that have no session to evict.
+            self.registry.evict_all("server draining: grace period expired")
+            _, pending = await asyncio.wait(pending, timeout=1.0)
+            for task in pending:
+                task.cancel()
+        return self.stats()
+
     async def __aenter__(self) -> "TestServer":
         await self.start()
         return self
@@ -182,35 +237,87 @@ class TestServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         counters.inc("server.connections")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 try:
-                    frame = await self._read_frame(reader)
+                    frame = await self._read_frame(reader, writer)
                     again = await self._run_session(frame, reader, writer)
                 except ProtocolError as err:
                     await self._send_error(writer, str(err))
                     return
                 except _Closed:
                     return
+                except _Stalled:
+                    # Idle between sessions: nothing to verdict, just
+                    # reclaim the connection.
+                    await self._send_error(writer, "idle deadline exceeded")
+                    return
                 if not again:
                     return
         except (ConnectionError, asyncio.IncompleteReadError):
             return  # peer vanished; its session was released in _run_session
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             # close() flushes buffered frames at the transport layer; not
             # awaiting wait_closed keeps loop shutdown from surfacing a
             # CancelledError out of every parked handler task.
             writer.close()
 
-    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        stall = faults.should_fire("server.conn.stall")
+
+        async def attempt() -> bytes:
+            if stall:
+                # Injected silent peer: sit on the wire without a frame
+                # so the idle deadline (when armed) does its job.
+                await asyncio.sleep(faults.hang_seconds())
+            return await reader.readline()
+
+        timeout = self.config.idle_timeout
+        if timeout is None:
+            return await attempt()
         try:
-            line = await reader.readline()
-        except ValueError as err:
-            # StreamReader overran its line limit: oversized frame.
-            raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes: {err}")
-        if not line:
-            raise _Closed()
-        return decode_frame(line.rstrip(b"\r\n"))
+            return await asyncio.wait_for(attempt(), timeout)
+        except asyncio.TimeoutError:
+            counters.inc("server.idle_timeouts")
+            raise _Stalled() from None
+
+    async def _read_frame(
+        self,
+        reader: asyncio.StreamReader,
+        writer: Optional[asyncio.StreamWriter] = None,
+    ) -> dict:
+        while True:
+            if faults.should_fire("server.conn.drop"):
+                # Injected mid-frame disconnect: kill the transport so
+                # the peer sees a dead connection, then unwind exactly
+                # like a real peer close.
+                if writer is not None:
+                    writer.close()
+                raise _Closed()
+            try:
+                line = await self._read_line(reader)
+            except ValueError as err:
+                # StreamReader overran its line limit: oversized frame.
+                raise ProtocolError(
+                    f"frame exceeds {MAX_FRAME_BYTES} bytes: {err}"
+                )
+            except (ConnectionError, asyncio.IncompleteReadError):
+                raise _Closed() from None
+            if not line:
+                raise _Closed()
+            frame = decode_frame(line.rstrip(b"\r\n"))
+            if frame.get("type") == "ping" and writer is not None:
+                # Heartbeat: answer and keep reading — the next
+                # _read_line restarts the idle deadline.
+                counters.inc("server.pings")
+                await self._send(writer, {"type": "pong"})
+                continue
+            return frame
 
     async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
         writer.write(encode_frame(frame))
@@ -366,7 +473,7 @@ class TestServer:
                             "updates": updates_to_wire(action.updates),
                         },
                     )
-                    frame = await self._read_frame(reader)
+                    frame = await self._read_frame(reader, writer)
                     if frame["type"] != "input-result":
                         raise ProtocolError(
                             f"expected input-result, got {frame['type']!r}"
@@ -383,7 +490,8 @@ class TestServer:
                         },
                     )
                     frame = await self.clock.observe(
-                        lambda: self._read_frame(reader), action.deadline
+                        lambda: self._read_frame(reader, writer),
+                        action.deadline,
                     )
                     if frame["type"] == "output":
                         delay = parse_delay(frame.get("delay"))
@@ -404,9 +512,35 @@ class TestServer:
             # The peer broke the *session* protocol (bad delay, wrong
             # event order): error out this session, keep the server.
             raise ProtocolError(str(err)) from err
+        except _Stalled:
+            if handle.evicted is not None:
+                return False
+            # Fail-sound: the peer went silent, so no verdict can be
+            # trusted — end the session INCONCLUSIVE and free its seat.
+            counters.inc("server.stalled_sessions")
+            try:
+                await self._send(
+                    writer,
+                    {
+                        "type": "verdict",
+                        "session": handle.sid,
+                        "verdict": INCONCLUSIVE,
+                        "reason": "idle deadline exceeded"
+                        f" ({self.config.idle_timeout}s without a frame)",
+                        "iterations": 0,
+                        "stalled": True,
+                    },
+                )
+            except _Closed:
+                pass
+            return False
         except _Closed:
             if handle.evicted is not None:
                 return False
+            # Mid-frame disconnect: the finally below frees the
+            # registry seat; record it so leaks are observable.
+            counters.inc("server.disconnects")
+            self.registry.stats.disconnected += 1
             raise
         finally:
             self.registry.release(handle)
